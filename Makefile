@@ -1,0 +1,29 @@
+# Convenience targets for the OFFS reproduction.
+
+.PHONY: install test bench bench-quick examples experiments clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_BENCH_SIZE=small pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.bench --size medium --out experiments_report.txt
+
+examples:
+	python examples/quickstart.py
+	python examples/cloud_monitoring.py
+	python examples/taxi_trajectories.py
+	python examples/tuning_parameters.py
+	python examples/streaming_archive.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf benchmarks/results .pytest_cache .hypothesis

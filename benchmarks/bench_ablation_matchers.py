@@ -1,0 +1,48 @@
+"""Ablation A1 — matcher backends: flat hash vs two-level hash vs trie.
+
+The three backends (Algorithm 6, Algorithm 7, §IV-D trie) must produce
+identical tables and tokens; what differs is probe cost.  The printed table
+records CR (identical) and build/compress timings; the pytest-benchmark rows
+time compression per backend.
+"""
+
+import pytest
+
+from repro.bench.experiments import exp_ablation_matchers
+from repro.core.compressor import compress_dataset
+from repro.core.matcher import static_matcher_from_table
+from repro.core.offs import OFFSCodec
+from repro.workloads.registry import make_dataset
+
+BACKENDS = ("hash", "multilevel", "trie")
+
+
+def test_a1_matcher_backend_table(benchmark, config, report):
+    rows, shape = benchmark.pedantic(
+        lambda: exp_ablation_matchers("alibaba", config),
+        rounds=1, iterations=1,
+    )
+    report(
+        "ablation_a1_matchers", rows, shape,
+        note="Identical results by contract; Lemma 3 / the IV-D trie only "
+             "change probe cost.",
+    )
+    assert shape["results_identical"] == 1.0
+
+
+@pytest.fixture(scope="module")
+def compression_setup(config):
+    dataset = make_dataset("alibaba", config.size, config.seed)
+    codec = OFFSCodec(config.offs_config()).fit(dataset)
+    return dataset, codec.table
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_a1_compression_probe_cost(benchmark, compression_setup, backend):
+    dataset, table = compression_setup
+    matcher = static_matcher_from_table(table, backend)
+    paths = list(dataset)
+    benchmark.pedantic(
+        lambda: compress_dataset(paths, table, matcher),
+        rounds=3, iterations=1,
+    )

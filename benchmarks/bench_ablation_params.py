@@ -1,0 +1,43 @@
+"""Ablation A3 — δ and β sweeps around the deployed defaults (δ=8, β=500).
+
+Complexity analysis (Section V): δ bounds both the CR ceiling (ideal ratio
+is δ) and the per-position probe cost O(δ²); β trades table size against
+coverage with an interior CR optimum.  The pytest-benchmark rows time
+compression across δ values.
+"""
+
+import pytest
+
+from repro.bench.experiments import exp_ablation_params
+from repro.core.offs import OFFSCodec
+from repro.workloads.registry import make_dataset
+
+DELTAS = (4, 8, 12)
+
+
+def test_a3_parameter_sweep_table(benchmark, config, report):
+    rows, shape = benchmark.pedantic(
+        lambda: exp_ablation_params("alibaba", config),
+        rounds=1, iterations=1,
+    )
+    report(
+        "ablation_a3_params", rows, shape,
+        note="delta lifts the CR ceiling at probe-cost expense; beta=500 "
+             "sits near the table-size/coverage optimum.",
+    )
+    assert shape["delta8_over_delta4"] > 1.0
+    assert shape["cr_beta_default"] > 1.5
+
+
+@pytest.mark.parametrize("delta", DELTAS)
+def test_a3_compression_cost_vs_delta(benchmark, config, delta):
+    dataset = make_dataset("alibaba", config.size, config.seed)
+    codec = OFFSCodec(config.offs_config(delta=delta, alpha=min(5, delta - 1)))
+    codec.fit(dataset)
+    paths = list(dataset)
+
+    def compress_all():
+        for path in paths:
+            codec.compress_path(path)
+
+    benchmark.pedantic(compress_all, rounds=2, iterations=1)

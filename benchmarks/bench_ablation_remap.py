@@ -1,0 +1,46 @@
+"""Ablation A5 — frequency-ordered id remapping under varint coding.
+
+Storage-layer companion to OFFS: relabel vertices hottest-first so the
+variable-length on-disk coding spends one byte on the ids that appear most.
+Measured end to end: the same archive's serialized size with and without
+the remap.
+"""
+
+from repro.core.offs import OFFSCodec
+from repro.core.serialize import dumps_store
+from repro.core.store import CompressedPathStore
+from repro.paths.remap import FrequencyRemapper
+from repro.workloads.registry import make_dataset
+
+
+def test_a5_frequency_remap(benchmark, config, report):
+    dataset = make_dataset("alibaba", config.size, config.seed)
+
+    def run():
+        plain_codec = OFFSCodec(config.offs_config())
+        plain = CompressedPathStore.from_codec(dataset, plain_codec)
+        remapper = FrequencyRemapper.fit(dataset)
+        remapped_ds = remapper.transform(dataset)
+        remap_codec = OFFSCodec(config.offs_config())
+        remapped = CompressedPathStore.from_codec(remapped_ds, remap_codec)
+        return len(dumps_store(plain)), len(dumps_store(remapped)), remapper
+
+    plain_bytes, remapped_bytes, remapper = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    rows = [
+        ("variant", "archive bytes"),
+        ("first-seen ids", plain_bytes),
+        ("frequency-ordered ids", remapped_bytes),
+    ]
+    shape = {
+        "bytes_saved_fraction": 1 - remapped_bytes / plain_bytes,
+        "mapping_size": float(len(remapper)),
+    }
+    report(
+        "ablation_a5_remap", rows, shape,
+        note="Hot vertices get 1-byte varints; the archive shrinks with no "
+             "change to the compression algorithm.",
+    )
+    # The remap must never hurt, and it measurably helps on skewed traffic.
+    assert shape["bytes_saved_fraction"] >= 0.0

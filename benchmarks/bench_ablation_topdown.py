@@ -1,0 +1,64 @@
+"""Ablation A4 — the §IV-D hybrid top-down refinement.
+
+On the standard surrogates the bottom-up pipeline suffices (paths repeat);
+on a unique-affix workload — every path has a one-off prefix/suffix around
+a hot interior — pure bottom-up overshoots into weight-1 full-path
+candidates and finalizes a near-empty table.  The hybrid's cut-and-recount
+passes recover the frequent cores.
+"""
+
+from repro.analysis.metrics import measure_codec
+from repro.core.offs import OFFSCodec
+from repro.paths.dataset import PathDataset
+
+
+def unique_affix_workload(path_count: int, seed: int) -> PathDataset:
+    import random
+
+    rng = random.Random(seed)
+    hots = [tuple(range(1000 + 10 * h, 1008 + 10 * h)) for h in range(6)]
+    paths = []
+    for i in range(path_count):
+        hot = hots[rng.randrange(len(hots))]
+        paths.append((5000 + i,) + hot + (9000 + i,))
+    return PathDataset(paths, name="unique-affix")
+
+
+def test_a4_topdown_rescues_unique_affixes(benchmark, config, report):
+    dataset = unique_affix_workload(2000, config.seed)
+    # A generous λ models the regime the hybrid exists for: when the top-λ
+    # filter never binds (ample capacity budget), one-off full-path merge
+    # candidates survive iterations and shadow their frequent interiors —
+    # only the top-down cuts can recover them.
+    capacity = 50_000
+
+    def run():
+        plain = measure_codec(
+            OFFSCodec(config.offs_config(sample_exponent=0, capacity=capacity)),
+            dataset,
+        )
+        hybrid = measure_codec(
+            OFFSCodec(
+                config.offs_config(
+                    sample_exponent=0, capacity=capacity, topdown_rounds=3
+                )
+            ),
+            dataset,
+        )
+        return plain, hybrid
+
+    plain, hybrid = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ("variant", "CR", "fit (s)"),
+        ("bottom-up only", round(plain.compression_ratio, 3), round(plain.fit_seconds, 3)),
+        ("hybrid + top-down", round(hybrid.compression_ratio, 3), round(hybrid.fit_seconds, 3)),
+    ]
+    shape = {
+        "hybrid_over_plain_cr": hybrid.compression_ratio / plain.compression_ratio,
+    }
+    report(
+        "ablation_a4_topdown", rows, shape,
+        note="Unique affixes around hot interiors defeat pure bottom-up; "
+             "the hybrid's cuts recover the cores (paper IV-D, opt. (1)).",
+    )
+    assert shape["hybrid_over_plain_cr"] > 1.5

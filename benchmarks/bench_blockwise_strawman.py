@@ -1,0 +1,49 @@
+"""Section II-C — the block-wise generic compression strawman, measured.
+
+Not a paper figure, but the quantified version of the paper's motivating
+claims: (1) per-path blocks destroy the generic compression ratio, (2) big
+blocks compress well but make single-path retrieval pay for the whole
+block.  OFFS needs neither compromise.
+"""
+
+from repro.analysis.sizing import dataset_raw_bytes
+from repro.baselines.blockwise import BlockwiseZlibStore
+from repro.core.offs import OFFSCodec
+from repro.core.store import CompressedPathStore
+from repro.workloads.registry import make_dataset
+
+BLOCK_SIZES = (1, 16, 256)
+
+
+def test_blockwise_tradeoff_table(benchmark, config, report):
+    dataset = make_dataset("alibaba", config.size, config.seed)
+
+    def run():
+        rows = [("store", "CR", "paths touched per retrieval")]
+        for paths_per_block in BLOCK_SIZES:
+            store = BlockwiseZlibStore(paths_per_block=paths_per_block)
+            store.compress_dataset(dataset)
+            rows.append(
+                (f"zlib blocks of {paths_per_block}",
+                 round(store.compression_ratio(), 3),
+                 paths_per_block)
+            )
+        codec = OFFSCodec(config.offs_config())
+        offs_store = CompressedPathStore.from_codec(dataset, codec)
+        rows.append(("OFFS", round(offs_store.compression_ratio(), 3), 1))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    cr = {row[0]: row[1] for row in rows[1:]}
+    shape = {
+        "per_path_blocks_cr": cr["zlib blocks of 1"],
+        "big_blocks_cr": cr["zlib blocks of 256"],
+        "offs_cr": cr["OFFS"],
+    }
+    report(
+        "blockwise_strawman", rows, shape,
+        note="Per-path generic blocks barely compress; big blocks compress "
+             "but lose per-path retrieval. OFFS keeps both.",
+    )
+    assert shape["per_path_blocks_cr"] < shape["big_blocks_cr"]
+    assert shape["offs_cr"] > shape["per_path_blocks_cr"]

@@ -1,0 +1,40 @@
+"""Figure 4 e–h — impact of the sample exponent ``k`` on CR and CS.
+
+Paper shape: CR decays slowly while the 1-in-2^k sample stays
+representative, then sharply; CS rises steeply with k while table
+construction dominates, then flattens once compression dominates.
+"""
+
+import pytest
+
+from repro.bench.experiments import exp_fig4_sampling
+from repro.core.builder import TableBuilder
+from repro.workloads.registry import DATASET_NAMES, make_dataset
+
+K_VALUES = tuple(range(0, 10))
+
+
+@pytest.mark.parametrize("dataset_name", DATASET_NAMES)
+def test_fig4_sampling_sweep(dataset_name, config, report, benchmark):
+    rows, shape = benchmark.pedantic(
+        lambda: exp_fig4_sampling(dataset_name, K_VALUES, config),
+        rounds=1, iterations=1,
+    )
+    report(
+        f"fig4_sampling_{dataset_name}", rows, shape,
+        note="CR decays slowly then sharply with k; CS rises steeply then "
+             "flattens (paper: 20x from k=0 to 7, then ~2x to 15).",
+        chart=(0, {"CR": 2, "CS": 3}),
+    )
+    # The early-k CR loss is small compared to the late-k collapse.
+    assert shape["cr_loss_fast_regime"] > shape["cr_loss_slow_regime"]
+    # Sampling buys substantial compression-speed gains.
+    assert shape["cs_gain"] > 1.5
+    assert shape["cr_at_default"] > 1.5
+
+
+def test_fig4_sampled_construction_benchmark(benchmark, config):
+    """Table construction at the default k (vs k=0 in the other bench)."""
+    dataset = make_dataset("alibaba", config.size, config.seed)
+    builder = TableBuilder(config.offs_config(sample_exponent=0))
+    benchmark.pedantic(lambda: builder.build(dataset), rounds=2, iterations=1)

@@ -1,0 +1,30 @@
+"""Figure 5a — compression ratio: OFFS vs OFFS* vs Dlz4 vs RSS vs GFS.
+
+Paper shape on its hardware: OFFS CR ≈ 5.11 on average — more than 3× Dlz4
+and ≈ 1.5× the naive DICTs; GFS averages below RSS (match collisions);
+OFFS* gives up ≈ 0.33 CR.  On these scaled surrogates with a DEFLATE-backed
+Dlz4 (stronger than lz4 — it entropy-codes), the margins compress but every
+ordering must hold: OFFS best everywhere, naive DICTs worst, OFFS* slightly
+below OFFS.
+"""
+
+from repro.bench.experiments import exp_fig5_comparison
+from repro.workloads.registry import DATASET_NAMES
+
+
+def test_fig5a_compression_ratio(benchmark, config, report, strict):
+    rows, shape = benchmark.pedantic(
+        lambda: exp_fig5_comparison(DATASET_NAMES, config),
+        rounds=1, iterations=1,
+    )
+    report(
+        "fig5a_compression_ratio", rows, shape,
+        note="OFFS > Dlz4 (paper 3x), OFFS > RSS/GFS (paper 1.5x), "
+             "GFS <= RSS on road data, OFFS* slightly below OFFS.",
+    )
+    assert shape["offs_cr_avg"] > (2.5 if strict else 1.7)
+    assert shape["offs_over_dlz4_cr"] > (1.2 if strict else 0.95)
+    assert shape["offs_over_rss_cr"] > (1.3 if strict else 1.1)
+    assert shape["offs_over_gfs_cr"] > (1.3 if strict else 1.1)
+    # OFFS* trades a bounded amount of CR for construction speed.
+    assert 0 <= shape["offs_star_cr_gap"] < 1.5

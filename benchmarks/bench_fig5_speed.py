@@ -1,0 +1,29 @@
+"""Figure 5b — compression speed: one pytest-benchmark row per codec.
+
+Each benchmark times ``fit + compress`` over the alibaba surrogate — the
+paper's CS measures table construction and compression together (its Exp-1
+shows CS varying with the construction parameters).  Paper shape: OFFS
+fastest (135 MB/s there; pure-Python absolute numbers are ~100× lower),
+Dlz4 ≈ 3× slower, naive DICTs ≈ 4× slower than OFFS.
+"""
+
+import pytest
+
+from repro.bench.harness import CODEC_FACTORIES
+from repro.workloads.registry import make_dataset
+
+CODECS = ("OFFS", "OFFS*", "Dlz4", "RSS", "GFS")
+
+
+@pytest.mark.parametrize("codec_name", CODECS)
+def test_fig5b_compression_speed(benchmark, config, codec_name):
+    dataset = make_dataset("alibaba", config.size, config.seed)
+    paths = list(dataset)
+
+    def fit_and_compress():
+        codec = CODEC_FACTORIES[codec_name](config)
+        codec.fit(dataset)
+        for path in paths:
+            codec.compress_path(path)
+
+    benchmark.pedantic(fit_and_compress, rounds=2, iterations=1)

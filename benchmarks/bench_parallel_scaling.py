@@ -1,0 +1,41 @@
+"""Section V — per-path parallelism of compression and decompression.
+
+The paper claims ``O(|P|·δ²/p)`` compression and ``O(|P|/p)`` decompression
+on p cores thanks to per-path purity.  One pytest-benchmark row per process
+count; pure-Python IPC overhead means the speedup is visible but sublinear
+(per-path C kernels would track the bound much closer).
+"""
+
+import pytest
+
+from repro.core.offs import OFFSCodec
+from repro.core.parallel import parallel_compress, parallel_decompress
+from repro.workloads.registry import make_dataset
+
+PROCESS_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def setup(config):
+    dataset = make_dataset("alibaba", config.size, config.seed)
+    codec = OFFSCodec(config.offs_config()).fit(dataset)
+    tokens = codec.compress_dataset(dataset)
+    return list(dataset), codec.table, tokens
+
+
+@pytest.mark.parametrize("processes", PROCESS_COUNTS)
+def test_parallel_compress_scaling(benchmark, setup, processes):
+    paths, table, _ = setup
+    benchmark.pedantic(
+        lambda: parallel_compress(paths, table, processes=processes),
+        rounds=2, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("processes", PROCESS_COUNTS)
+def test_parallel_decompress_scaling(benchmark, setup, processes):
+    _, table, tokens = setup
+    benchmark.pedantic(
+        lambda: parallel_decompress(tokens, table, processes=processes),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,8 @@
+"""Setup shim for environments whose pip lacks the wheel package.
+
+All real metadata lives in pyproject.toml; `pip install -e .` uses PEP 660
+when possible, and `python setup.py develop` remains available offline.
+"""
+from setuptools import setup
+
+setup()

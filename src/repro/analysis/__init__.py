@@ -1,0 +1,38 @@
+"""Measures, size accounting and dataset statistics (Section VI-B)."""
+
+from repro.analysis.charts import ascii_chart, chart_from_rows
+from repro.analysis.distribution import (
+    RedundancyReport,
+    edge_popularity,
+    length_histogram,
+    redundancy_report,
+    zipf_exponent,
+)
+from repro.analysis.metrics import (
+    CompressionMeasurement,
+    compression_ratio,
+    measure_codec,
+    measure_decompression,
+    measure_partial_decompression,
+)
+from repro.analysis.sizing import dataset_raw_bytes, tokens_total_bytes
+from repro.analysis.stats import dataset_stats_table, format_table
+
+__all__ = [
+    "ascii_chart",
+    "chart_from_rows",
+    "RedundancyReport",
+    "edge_popularity",
+    "length_histogram",
+    "redundancy_report",
+    "zipf_exponent",
+    "CompressionMeasurement",
+    "compression_ratio",
+    "measure_codec",
+    "measure_decompression",
+    "measure_partial_decompression",
+    "dataset_raw_bytes",
+    "tokens_total_bytes",
+    "dataset_stats_table",
+    "format_table",
+]

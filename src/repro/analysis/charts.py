@@ -1,0 +1,112 @@
+"""Plain-text line charts for the figure reproductions.
+
+The paper's Figures 4–6 are plots; the benchmark harness reproduces their
+*data* as tables, and this module renders the same series as ASCII charts so
+a terminal/`tee` log shows the curve shapes at a glance — knees, plateaus
+and crossovers included.  No plotting dependency, deterministic output.
+
+>>> print(ascii_chart({"CR": [(0, 1.7), (1, 2.2), (2, 3.0), (3, 3.3),
+...                            (4, 3.25)]}, width=30, height=6))  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Series = Dict[str, Sequence[Tuple[float, float]]]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Series,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more ``(x, y)`` series as an ASCII line chart.
+
+    Each series gets its own marker; points are plotted on a
+    ``width × height`` grid scaled to the joint data range, with axis
+    annotations for the extremes and a legend.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("chart needs width >= 10 and height >= 4")
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        return (title + "\n" if title else "") + "(no data)"
+
+    points_all = [pt for pts in series.values() for pt in pts]
+    xs = [x for x, _ in points_all]
+    ys = [y for _, y in points_all]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            col = round((x - x_min) / x_span * (width - 1))
+            row = height - 1 - round((y - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    y_top = f"{y_max:g}"
+    y_bottom = f"{y_min:g}"
+    margin = max(len(y_top), len(y_bottom), len(y_label)) + 1
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_top
+        elif row_index == height - 1:
+            label = y_bottom
+        elif row_index == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label.rjust(margin)} |{''.join(row)}")
+    axis = f"{'':>{margin}} +{'-' * width}"
+    lines.append(axis)
+    x_left = f"{x_min:g}"
+    x_right = f"{x_max:g}"
+    gap = width - len(x_left) - len(x_right)
+    x_line = f"{'':>{margin}}  {x_left}{'' if gap < 0 else ' ' * gap}{x_right}"
+    if x_label:
+        x_line += f"  ({x_label})"
+    lines.append(x_line)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>{margin}}  {legend}")
+    return "\n".join(lines)
+
+
+def chart_from_rows(
+    rows: Sequence[Sequence],
+    x_column: int,
+    y_columns: Dict[str, int],
+    **kwargs,
+) -> str:
+    """Build a chart straight from an experiment's table rows.
+
+    :param rows: header-first rows as the experiment functions return them.
+    :param x_column: index of the x-value column.
+    :param y_columns: ``{series name: column index}``.
+    """
+    series: Series = {}
+    for name, col in y_columns.items():
+        pts = []
+        for row in rows[1:]:
+            try:
+                x = float(str(row[x_column]).rstrip("%").replace(",", ""))
+                y = float(str(row[col]).replace(",", ""))
+            except (TypeError, ValueError):
+                continue
+            pts.append((x, y))
+        series[name] = pts
+    return ascii_chart(series, **kwargs)

@@ -1,0 +1,85 @@
+"""Side-by-side codec comparison on arbitrary datasets.
+
+The Fig. 5 experience for *your* data: run every relevant codec over a path
+set and get one table of CR / CS / DS plus rule sizes.  Used by the CLI's
+``compare`` subcommand and handy in notebooks::
+
+    from repro.analysis.compare import compare_codecs, comparison_rows
+    results = compare_codecs(dataset)
+    print(format_table(comparison_rows(results)))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import CompressionMeasurement, measure_codec
+from repro.core.config import OFFSConfig
+from repro.core.offs import OFFSCodec
+
+
+def default_roster(
+    sample_exponent: int = 2,
+    dict_capacity: int = 512,
+    include_repair: bool = True,
+):
+    """The comparison roster, sized for ad-hoc datasets.
+
+    OFFS (default + fast mode), Dlz4, the naive DICTs, and optionally
+    Re-Pair (skip it on large inputs — its construction is the slow one).
+    """
+    from repro.baselines.dlz4 import Dlz4Codec
+    from repro.baselines.gfs import GFSCodec
+    from repro.baselines.rss import RSSCodec
+
+    offs = OFFSCodec(OFFSConfig(iterations=4, sample_exponent=sample_exponent))
+    fast = OFFSCodec(OFFSConfig(iterations=2, sample_exponent=sample_exponent))
+    fast.name = "OFFS*"
+    roster = [
+        offs,
+        fast,
+        Dlz4Codec(sample_exponent=sample_exponent),
+        RSSCodec(capacity=dict_capacity, sample_exponent=sample_exponent),
+        GFSCodec(capacity=dict_capacity, sample_exponent=sample_exponent),
+    ]
+    if include_repair:
+        from repro.baselines.repair import RePairCodec
+
+        roster.append(RePairCodec(max_rules=dict_capacity, sample_exponent=sample_exponent))
+    return roster
+
+
+def compare_codecs(
+    dataset,
+    codecs: Optional[Sequence] = None,
+    verify: bool = True,
+) -> Dict[str, CompressionMeasurement]:
+    """Measure each codec on *dataset*; returns ``{name: measurement}``.
+
+    Every codec's round-trip is verified by default — a comparison against
+    a silently lossy configuration would be meaningless.
+    """
+    codecs = codecs if codecs is not None else default_roster()
+    results: Dict[str, CompressionMeasurement] = {}
+    for codec in codecs:
+        results[codec.name] = measure_codec(codec, dataset, verify=verify)
+    return results
+
+
+def comparison_rows(results: Dict[str, CompressionMeasurement]) -> List[Sequence]:
+    """Printable table rows (header first), best CR first."""
+    rows: List[Sequence] = [
+        ("codec", "CR", "CS (MB/s)", "DS (MB/s)", "rule bytes")
+    ]
+    ordered = sorted(results.values(), key=lambda m: -m.compression_ratio)
+    for m in ordered:
+        rows.append(
+            (
+                m.codec_name,
+                round(m.compression_ratio, 3),
+                round(m.compression_speed_mbps, 3),
+                round(m.decompression_speed_mbps, 3),
+                m.rule_bytes,
+            )
+        )
+    return rows

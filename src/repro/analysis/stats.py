@@ -1,0 +1,51 @@
+"""Dataset statistics tables (Table III) and plain-text table rendering."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.paths.dataset import PathDataset
+
+TABLE3_HEADER = (
+    "Dataset", "path number", "node number", "id number",
+    "maximum length", "average length",
+)
+
+
+def dataset_stats_table(datasets: Iterable[PathDataset]) -> List[Sequence]:
+    """Rows of Table III for *datasets* (header first)."""
+    rows: List[Sequence] = [TABLE3_HEADER]
+    for ds in datasets:
+        rows.append(ds.stats().as_row())
+    return rows
+
+
+def format_table(rows: Sequence[Sequence], title: str = "") -> str:
+    """Render rows (first row = header) as an aligned plain-text table.
+
+    Numbers get thousands separators; floats keep their given precision.
+    The benchmark harness prints every reproduced table/figure through this.
+    """
+    if not rows:
+        return title
+
+    def fmt(cell) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, int):
+            return f"{cell:,}"
+        if isinstance(cell, float):
+            return f"{cell:,.3f}".rstrip("0").rstrip(".")
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in text_rows) for i in range(len(text_rows[0]))]
+    lines = []
+    if title:
+        lines.append(title)
+    header = text_rows[0]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Every baseline the paper compares OFFS against.
+
+* :mod:`repro.baselines.onepass` — the shared ``TConstruct`` skeleton
+  (Algorithm 4): collect subpath frequencies in one pass, pick top
+  candidates by some rule.
+* :mod:`repro.baselines.rss` — **RSS**: random sampling of candidates,
+  "the most naive solution".
+* :mod:`repro.baselines.gfs` — **GFS**: top candidates by *gross* weighted
+  frequency, the measure that suffers match collisions (Section IV-A).
+* :mod:`repro.baselines.afs` — **AFS** (Algorithm 3): Apriori for Frequent
+  Subpaths, the prior state of the art the paper rules out on cost.
+* :mod:`repro.baselines.dlz4` — **Dlz4**: per-path generic LZ compression
+  seeded by a trained dictionary (Section II-C).
+* :mod:`repro.baselines.blockwise` — block-mode generic compression, the
+  strawman whose lack of partial decompression motivates the problem.
+* :mod:`repro.baselines.repair` — **Re-Pair**, the grammar-compression
+  relative OFFS is best understood against (see the comparison bench).
+"""
+
+from repro.baselines.afs import AFSCodec, afs_frequent_subpaths
+from repro.baselines.blockwise import BlockwiseZlibStore
+from repro.baselines.dlz4 import Dlz4Codec
+from repro.baselines.gfs import GFSCodec
+from repro.baselines.onepass import OnePassTableCodec, collect_subpath_counts
+from repro.baselines.repair import RePairCodec
+from repro.baselines.rss import RSSCodec
+
+__all__ = [
+    "AFSCodec",
+    "afs_frequent_subpaths",
+    "BlockwiseZlibStore",
+    "Dlz4Codec",
+    "GFSCodec",
+    "OnePassTableCodec",
+    "RePairCodec",
+    "collect_subpath_counts",
+    "RSSCodec",
+]

@@ -1,0 +1,123 @@
+"""Block-wise generic compression — the strawman of Section II-C.
+
+"A naive and straightforward idea is to divide all paths into a set of blocks
+and compress each block individually."  This store does exactly that with
+stdlib zlib, so its three documented shortcomings can be *measured*:
+
+1. duplication across blocks goes undetected (CR falls as blocks shrink);
+2. retrieving one path decompresses its whole block (PDS tanks for big
+   blocks);
+3. no global dictionary means small blocks barely compress at all — the
+   paper observed quality "drops dramatically as we allocate a block for
+   each path".
+
+It is intentionally *not* a :class:`~repro.core.codec.PathCodec`: per-path
+compression is the very capability it lacks.  The Fig. 5/6 benches use it as
+the generic-compression reference point alongside Dlz4.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Tuple
+
+from repro.core.errors import PathIdError
+from repro.paths.encoding import DEFAULT_ENCODING, Encoding, FixedWidthEncoding
+
+
+class BlockwiseZlibStore:
+    """Paths packed into fixed-count blocks, each block zlib-compressed.
+
+    :param paths_per_block: how many paths share one compressed block.
+        ``1`` reproduces the degenerate one-path-per-block configuration.
+    :param level: zlib compression level.
+    :param width: bytes per vertex id in the raw representation.
+    """
+
+    def __init__(self, paths_per_block: int = 64, level: int = 6, width: int = 4) -> None:
+        if paths_per_block < 1:
+            raise ValueError("paths_per_block must be >= 1")
+        self.paths_per_block = paths_per_block
+        self.level = level
+        self._bytes_encoding = FixedWidthEncoding(width)
+        self._blocks: List[bytes] = []
+        self._lengths: List[List[int]] = []  # per block, the path lengths
+        self._count = 0
+
+    # -- ingest -----------------------------------------------------------------
+
+    def compress_dataset(self, dataset) -> "BlockwiseZlibStore":
+        """Compress all of *dataset* into blocks; returns ``self``."""
+        paths = list(dataset)
+        self._blocks = []
+        self._lengths = []
+        self._count = len(paths)
+        for start in range(0, len(paths), self.paths_per_block):
+            block_paths = paths[start : start + self.paths_per_block]
+            raw = bytearray()
+            lengths = []
+            for p in block_paths:
+                raw += self._bytes_encoding.encode(p)
+                lengths.append(len(p))
+            self._blocks.append(zlib.compress(bytes(raw), self.level))
+            self._lengths.append(lengths)
+        return self
+
+    # -- retrieval ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def retrieve(self, path_id: int) -> Tuple[int, ...]:
+        """Fetch one path — decompressing its **entire** block (the cost
+        this baseline exists to demonstrate)."""
+        if not 0 <= path_id < self._count:
+            raise PathIdError(f"path id {path_id} not in store of {self._count} paths")
+        block_index, offset = divmod(path_id, self.paths_per_block)
+        raw = zlib.decompress(self._blocks[block_index])
+        values = self._bytes_encoding.decode(raw)
+        lengths = self._lengths[block_index]
+        start = sum(lengths[:offset])
+        return tuple(values[start : start + lengths[offset]])
+
+    def retrieve_all(self) -> List[Tuple[int, ...]]:
+        """Decompress every block and return all paths in order."""
+        out: List[Tuple[int, ...]] = []
+        for block, lengths in zip(self._blocks, self._lengths):
+            values = self._bytes_encoding.decode(zlib.decompress(block))
+            pos = 0
+            for length in lengths:
+                out.append(tuple(values[pos : pos + length]))
+                pos += length
+        return out
+
+    # -- size accounting -------------------------------------------------------------
+
+    def compressed_size_bytes(self, encoding: Encoding = DEFAULT_ENCODING) -> int:
+        """Blocks plus the per-block path-length framing metadata."""
+        total = 0
+        for block, lengths in zip(self._blocks, self._lengths):
+            total += encoding.size_of_value(len(block)) + len(block)
+            total += encoding.size_of_value(len(lengths))
+            total += sum(encoding.size_of_value(n) for n in lengths)
+        return total
+
+    def raw_size_bytes(self, encoding: Encoding = DEFAULT_ENCODING) -> int:
+        """What the uncompressed paths cost under the paper's size model."""
+        total = 0
+        width = self._bytes_encoding.width
+        for lengths in self._lengths:
+            for n in lengths:
+                total += encoding.size_of_value(n) + n * width
+        return total
+
+    def compression_ratio(self, encoding: Encoding = DEFAULT_ENCODING) -> float:
+        """``CR = |P| / compressed`` for the whole store."""
+        compressed = self.compressed_size_bytes(encoding)
+        return self.raw_size_bytes(encoding) / compressed if compressed else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockwiseZlibStore(paths={self._count}, "
+            f"paths_per_block={self.paths_per_block}, blocks={len(self._blocks)})"
+        )

@@ -1,0 +1,39 @@
+"""GFS — gross frequent subpaths (the measure the paper argues against).
+
+GFS picks the top-``c`` candidates by *gross weighted frequency*, the product
+of raw occurrence count and length, counting an occurrence "at any position"
+(Section IV-A).  That is the natural frequent-pattern-mining measure — and a
+poor compression measure: the top of the ranking fills up with overlapping
+variants of the same hot subpath (Table I's ``u_1..u_4`` are all fragments of
+``u_0``), and once the longest one is matched greedily, the rest never match
+anything.  Example 1 and the A2 ablation benchmark demonstrate the effect.
+
+Ties follow the paper's stated rule: prefer the longer candidate unless its
+frequency is 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines.onepass import OnePassTableCodec, Subpath
+
+
+def gross_weighted_frequency(subpath: Subpath, count: int) -> int:
+    """The GFS measure: occurrences × length."""
+    return count * len(subpath)
+
+
+class GFSCodec(OnePassTableCodec):
+    """One-pass DICT baseline ranked by gross weighted frequency."""
+
+    name = "GFS"
+
+    def select(self, counts: Dict[Subpath, int], capacity: int) -> List[Subpath]:
+        def key(item):
+            seq, count = item
+            tie_len = len(seq) if count > 1 else 0
+            return (-gross_weighted_frequency(seq, count), -tie_len, -count, seq)
+
+        ranked = sorted(counts.items(), key=key)
+        return [seq for seq, _ in ranked[:capacity]]

@@ -1,0 +1,123 @@
+"""The one-pass table construction skeleton — ``TConstruct`` (Algorithm 4).
+
+Both naive DICT baselines share this recipe:
+
+1. traverse the (sampled) paths and count the frequency of **every** subpath
+   up to the maximum supernode size;
+2. if the candidate hash outgrows a threshold, keep only the top candidates
+   under the baseline's rule (the paper speeds RSS/GFS up with a threshold
+   of ``5 × c``);
+3. pick the final ``c`` candidates by the rule and build the lookup table.
+
+Subclasses provide the rule by overriding :meth:`select`:
+:class:`~repro.baselines.rss.RSSCodec` samples at random,
+:class:`~repro.baselines.gfs.GFSCodec` ranks by gross weighted frequency.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.codec import TableCodec
+from repro.core.supernode_table import SupernodeTable
+
+Subpath = Tuple[int, ...]
+
+DEFAULT_CAPACITY = 4096
+PRUNE_FACTOR = 5  # the paper's "threshold 5·c" mid-collection filter
+
+
+def collect_subpath_counts(
+    paths: Sequence[Sequence[int]],
+    max_len: int,
+    prune_threshold: int = 0,
+    prune_keep: int = 0,
+    prune_rank=None,
+) -> Dict[Subpath, int]:
+    """Count every subpath of length 2..*max_len* across *paths*.
+
+    This is lines 1–2 of Algorithm 4: gross frequencies, counting an
+    occurrence at every position regardless of overlaps — exactly the
+    behaviour that invites match collisions.
+
+    :param prune_threshold: when > 0 and the hash exceeds it, prune down to
+        *prune_keep* entries ranked by *prune_rank* (a key function over
+        ``(subpath, count)`` items, higher first).  This is the paper's
+        mid-collection speed-up; it makes counts approximate, which is
+        acceptable for the baselines it serves.
+    """
+    counts: Dict[Subpath, int] = {}
+    for path in paths:
+        n = len(path)
+        for length in range(2, max_len + 1):
+            for start in range(n - length + 1):
+                seq = tuple(path[start : start + length])
+                counts[seq] = counts.get(seq, 0) + 1
+        if prune_threshold and len(counts) > prune_threshold:
+            ranked = sorted(counts.items(), key=prune_rank)
+            counts = dict(ranked[:prune_keep])
+    return counts
+
+
+class OnePassTableCodec(TableCodec):
+    """Base class for the Algorithm 4 baselines (RSS, GFS).
+
+    :param capacity: table capacity ``c`` (final number of supernodes).
+    :param max_len: maximum candidate length ``l`` (paper: same δ as OFFS).
+    :param sample_exponent: use one path in every ``2**k`` for construction,
+        matching the comparison setup ("the sample rate for table
+        construction is set to 128").
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        max_len: int = 8,
+        sample_exponent: int = 7,
+        seed: int = 0,
+        base_id: int = None,
+    ) -> None:
+        super().__init__(base_id=base_id)
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if max_len < 2:
+            raise ValueError("max_len must be >= 2")
+        self.capacity = capacity
+        self.max_len = max_len
+        self.sample_exponent = sample_exponent
+        self.seed = seed
+
+    @abstractmethod
+    def select(self, counts: Dict[Subpath, int], capacity: int) -> List[Subpath]:
+        """Pick at most *capacity* candidates from *counts* (the rule)."""
+
+    def _prune_rank(self, item: Tuple[Subpath, int]):
+        """Default mid-collection ranking: gross weighted frequency."""
+        seq, count = item
+        return (-count * len(seq), -len(seq), seq)
+
+    def build_table(self, dataset) -> SupernodeTable:
+        paths = list(dataset)
+        if self.base_id is not None:
+            base_id = self.base_id
+        else:
+            max_id = -1
+            for p in paths:
+                if p:
+                    m = max(p)
+                    if m > max_id:
+                        max_id = m
+            base_id = max_id + 1 if max_id >= 0 else 1
+
+        stride = 1 << self.sample_exponent
+        sampled = paths[::stride] if stride > 1 else paths
+        counts = collect_subpath_counts(
+            sampled,
+            self.max_len,
+            prune_threshold=PRUNE_FACTOR * self.capacity,
+            prune_keep=PRUNE_FACTOR * self.capacity,
+            prune_rank=self._prune_rank,
+        )
+        chosen = self.select(counts, self.capacity)
+        return SupernodeTable(base_id, chosen)

@@ -1,0 +1,39 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+:mod:`repro.bench.experiments` implements one function per paper artifact
+(Table III, Figures 4–6) plus the ablations DESIGN.md calls out; each
+returns printable rows (header first) so ``benchmarks/bench_*.py`` and the
+examples can render them with
+:func:`repro.analysis.stats.format_table`.  :mod:`repro.bench.harness`
+provides the shared codec roster and run configuration.
+"""
+
+from repro.bench.harness import BenchConfig, default_codecs, offs_pair
+from repro.bench.experiments import (
+    exp_ablation_matchers,
+    exp_ablation_measure,
+    exp_ablation_params,
+    exp_fig4_iterations,
+    exp_fig4_sampling,
+    exp_fig5_comparison,
+    exp_fig6_decompression,
+    exp_fig6_partial,
+    exp_fig6_scalability,
+    exp_table3,
+)
+
+__all__ = [
+    "BenchConfig",
+    "default_codecs",
+    "offs_pair",
+    "exp_ablation_matchers",
+    "exp_ablation_measure",
+    "exp_ablation_params",
+    "exp_fig4_iterations",
+    "exp_fig4_sampling",
+    "exp_fig5_comparison",
+    "exp_fig6_decompression",
+    "exp_fig6_partial",
+    "exp_fig6_scalability",
+    "exp_table3",
+]

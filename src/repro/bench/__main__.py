@@ -1,0 +1,7 @@
+"""``python -m repro.bench`` — run the paper experiments without pytest."""
+
+import sys
+
+from repro.bench.runner import main
+
+sys.exit(main())

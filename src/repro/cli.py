@@ -1,0 +1,283 @@
+"""Command-line interface: compress, decompress, inspect and query archives.
+
+The operational surface a deployment needs, over the text/binary formats of
+:mod:`repro.paths.io` and the archive format of :mod:`repro.core.serialize`:
+
+* ``python -m repro compress IN.paths OUT.offs`` — build a table and
+  compress a path file (one space-separated path per line).
+* ``python -m repro decompress IN.offs OUT.paths`` — restore the text file.
+* ``python -m repro stats IN.offs`` — archive health without decompression.
+* ``python -m repro retrieve IN.offs --id 42`` — fetch single paths.
+* ``python -m repro query IN.offs --contains V`` / ``--between S D`` /
+  ``--subpath V...`` / ``--via SRC W... DST`` — the paper's Case 1 / Case 2
+  queries plus subpath and waypoint search.
+* ``python -m repro verify IN.offs`` — integrity + sampled round-trip.
+* ``python -m repro generate NAME OUT.paths`` — synthetic workloads.
+* ``python -m repro tune IN.paths`` — Exp-1-style (i, k) selection.
+* ``python -m repro compare IN.paths`` — Fig. 5-style codec comparison.
+
+Every command prints plain text suitable for shell pipelines; errors exit
+non-zero with a one-line message on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.stats import format_table
+from repro.core.config import OFFSConfig
+from repro.core.offs import OFFSCodec
+from repro.core.serialize import dumps_store, loads_store
+from repro.core.store import CompressedPathStore
+from repro.paths.io import load_text, save_text
+from repro.paths.dataset import PathDataset
+from repro.queries.analytics import compression_summary, hot_subpaths
+from repro.queries.retrieval import PathQueryEngine
+
+
+def _add_offs_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--iterations", type=int, default=4,
+                        help="merge/expansion iterations (paper default: 4)")
+    parser.add_argument("--sample-exponent", type=int, default=2,
+                        help="train on 1 path in 2^k (paper default k=7 at full scale)")
+    parser.add_argument("--delta", type=int, default=8,
+                        help="maximum supernode length (paper default: 8)")
+    parser.add_argument("--beta", type=float, default=500.0,
+                        help="candidate capacity divisor lambda = nodes/beta")
+    parser.add_argument("--topdown-rounds", type=int, default=0,
+                        help="hybrid top-down refinement rounds (0 = off)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OFFS path compression (ICDE 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress a text path file into an archive")
+    p.add_argument("input", help="text file, one space-separated path per line")
+    p.add_argument("output", help="archive file to write")
+    _add_offs_options(p)
+
+    p = sub.add_parser("decompress", help="restore a text path file from an archive")
+    p.add_argument("input", help="archive file")
+    p.add_argument("output", help="text file to write")
+
+    p = sub.add_parser("stats", help="archive statistics (no decompression)")
+    p.add_argument("input", help="archive file")
+    p.add_argument("--hot", type=int, default=5,
+                   help="show the N most valuable table entries")
+
+    p = sub.add_parser("retrieve", help="fetch individual paths by id")
+    p.add_argument("input", help="archive file")
+    p.add_argument("--id", type=int, action="append", required=True,
+                   dest="ids", help="path id (repeatable)")
+
+    p = sub.add_parser("query", help="Case 1/2 retrieval queries")
+    p.add_argument("input", help="archive file")
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--contains", type=int, metavar="VERTEX",
+                       help="Case 1: all paths through VERTEX")
+    group.add_argument("--between", type=int, nargs=2, metavar=("SRC", "DST"),
+                       help="Case 2: all paths from SRC to DST")
+    group.add_argument("--subpath", type=int, nargs="+", metavar="V",
+                       help="paths containing this exact vertex sequence")
+    group.add_argument("--via", type=int, nargs="+", metavar="V",
+                       help="SRC [WAYPOINT...] DST: paths from SRC to DST "
+                            "through the waypoints in order")
+
+    p = sub.add_parser("generate", help="write a synthetic workload to a text file")
+    p.add_argument("workload", help="alibaba | rome | porto | sanfrancisco | "
+                                    "web | collision | noise")
+    p.add_argument("output", help="text file to write")
+    p.add_argument("--paths", type=int, default=1000, help="number of paths")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("tune", help="pick (i, k) for a workload (Exp-1 style)")
+    p.add_argument("input", help="text file, one space-separated path per line")
+    p.add_argument("--pilot", type=int, default=2000,
+                   help="paths measured per grid point")
+
+    p = sub.add_parser("verify", help="validate an archive's integrity")
+    p.add_argument("input", help="archive file")
+    p.add_argument("--sample", type=int, default=256,
+                   help="paths to round-trip check")
+
+    p = sub.add_parser("compare", help="compare codecs on a path file (Fig 5 style)")
+    p.add_argument("input", help="text file, one space-separated path per line")
+    p.add_argument("--no-repair", action="store_true",
+                   help="skip the (slow) Re-Pair comparator")
+    p.add_argument("--sample-exponent", type=int, default=2,
+                   help="construction sampling for the DICT codecs")
+    return parser
+
+
+def _load_store(path: str) -> CompressedPathStore:
+    with open(path, "rb") as fh:
+        return loads_store(fh.read())
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    dataset = load_text(args.input, name=args.input)
+    config = OFFSConfig(
+        iterations=args.iterations,
+        sample_exponent=args.sample_exponent,
+        delta=args.delta,
+        alpha=min(5, args.delta - 1),
+        beta=args.beta,
+        topdown_rounds=args.topdown_rounds,
+    )
+    codec = OFFSCodec(config).fit(dataset)
+    store = CompressedPathStore.from_dataset(dataset, codec.table)
+    blob = dumps_store(store)
+    with open(args.output, "wb") as fh:
+        fh.write(blob)
+    print(f"{len(store):,} paths -> {args.output} "
+          f"({len(blob):,} bytes, CR={store.compression_ratio():.2f}, "
+          f"table={len(codec.table)} entries)")
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    store = _load_store(args.input)
+    dataset = PathDataset(store.retrieve_all(), name=args.input)
+    save_text(dataset, args.output)
+    print(f"{len(dataset):,} paths restored to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    store = _load_store(args.input)
+    summary = compression_summary(store)
+    rows = [("metric", "value")] + [
+        (key, round(value, 3)) for key, value in summary.items()
+    ]
+    print(format_table(rows, title=f"archive {args.input}"))
+    if args.hot > 0:
+        hot_rows = [("subpath", "uses", "vertices saved")]
+        for subpath, uses, saved in hot_subpaths(store, top=args.hot):
+            hot_rows.append((str(list(subpath)), uses, saved))
+        print()
+        print(format_table(hot_rows, title="hottest table entries"))
+    return 0
+
+
+def _cmd_retrieve(args: argparse.Namespace) -> int:
+    store = _load_store(args.input)
+    for path_id in args.ids:
+        path = store.retrieve(path_id)
+        print(" ".join(str(v) for v in path))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    store = _load_store(args.input)
+    engine = PathQueryEngine(store)
+    if args.contains is not None:
+        paths = engine.affected_paths(args.contains)
+    elif args.between is not None:
+        src, dst = args.between
+        paths = engine.paths_between(src, dst)
+    elif args.via is not None:
+        from repro.queries.pattern import PathPattern, PatternSearcher
+
+        if len(args.via) < 2:
+            print("error: --via needs at least SRC and DST", file=sys.stderr)
+            return 1
+        searcher = PatternSearcher(store, engine.index)
+        paths = searcher.search(
+            PathPattern.via(args.via[0], args.via[1:-1], args.via[-1])
+        )
+    else:
+        from repro.queries.subpath_search import SubpathSearcher
+
+        paths = SubpathSearcher(store, engine.index).search(args.subpath)
+    for path in paths:
+        print(" ".join(str(v) for v in path))
+    print(f"# {len(paths)} path(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.workloads.registry import _FACTORIES
+
+    if args.workload not in _FACTORIES:
+        print(f"error: unknown workload {args.workload!r}; "
+              f"known: {', '.join(sorted(_FACTORIES))}", file=sys.stderr)
+        return 1
+    dataset = _FACTORIES[args.workload](args.paths, seed=args.seed)
+    save_text(dataset, args.output)
+    stats = dataset.stats()
+    print(f"{stats.path_number:,} paths (avg length {stats.avg_length:.1f}, "
+          f"{stats.id_number:,} ids) -> {args.output}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.core.autotune import autotune
+
+    dataset = load_text(args.input, name=args.input)
+    result = autotune(dataset, pilot_paths=args.pilot)
+    rows = [("i", "k", "CR", "CS (MB/s)")] + [p.as_row() for p in result.points]
+    print(format_table(rows, title=f"tuning sweep ({result.pilot_paths} pilot paths)"))
+    d, f = result.default_mode, result.fast_mode
+    print(f"\ndefault mode: i={d.iterations} k={d.sample_exponent} "
+          f"(CR {d.compression_ratio:.2f}, CS {d.compression_speed_mbps:.2f} MB/s)")
+    print(f"fast mode:    i={f.iterations} k={f.sample_exponent} "
+          f"(CR {f.compression_ratio:.2f}, CS {f.compression_speed_mbps:.2f} MB/s)")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.validate import validate_store
+
+    store = _load_store(args.input)
+    report = validate_store(store, sample=args.sample)
+    print(report.summary())
+    for error in report.errors:
+        print(f"  {error}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import compare_codecs, comparison_rows, default_roster
+
+    dataset = load_text(args.input, name=args.input)
+    roster = default_roster(
+        sample_exponent=args.sample_exponent,
+        include_repair=not args.no_repair,
+    )
+    results = compare_codecs(dataset, roster)
+    print(format_table(comparison_rows(results), title=f"codecs on {args.input}"))
+    return 0
+
+
+_COMMANDS = {
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "stats": _cmd_stats,
+    "retrieve": _cmd_retrieve,
+    "query": _cmd_query,
+    "generate": _cmd_generate,
+    "tune": _cmd_tune,
+    "verify": _cmd_verify,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

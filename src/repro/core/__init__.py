@@ -1,0 +1,88 @@
+"""OFFS core: supernode tables, table construction, (de)compression, storage.
+
+The paper's primary contribution lives here:
+
+* :mod:`repro.core.config` — the δ/α/τ/k/β parameter set with paper defaults.
+* :mod:`repro.core.supernode_table` — the rule ``R``: supernode ↔ subpath.
+* :mod:`repro.core.matcher` / :mod:`~repro.core.multilevel` /
+  :mod:`~repro.core.trie` — longest-prefix matching backends
+  (Algorithms 6 and 7, and the §IV-D trie).
+* :mod:`repro.core.builder` — ``TConstruct*`` (Algorithm 5): merge &
+  expansion under practical weighted frequency.
+* :mod:`repro.core.compressor` — Algorithms 1 and 2.
+* :mod:`repro.core.offs` — the :class:`OFFSCodec` façade.
+* :mod:`repro.core.store` — per-path random-access compressed storage.
+* :mod:`repro.core.serialize` — versioned binary persistence.
+"""
+
+from repro.core.autotune import TuningResult, autotune
+from repro.core.builder import BuildReport, TableBuilder, build_supernode_table
+from repro.core.codec import PathCodec, TableCodec
+from repro.core.compressor import (
+    compress_dataset,
+    compress_path,
+    decompress_dataset,
+    decompress_path,
+)
+from repro.core.config import OFFSConfig
+from repro.core.errors import (
+    ConfigError,
+    CorruptDataError,
+    NotFittedError,
+    PathIdError,
+    ReproError,
+    TableError,
+)
+from repro.core.matcher import CandidateSet, HashCandidates, make_candidate_set
+from repro.core.parallel import parallel_compress, parallel_decompress
+from repro.core.segment import SegmentedArchive
+from repro.core.stream import AutoSegmentingStream, StreamingCompressor
+from repro.core.topdown import TopDownRefiner
+from repro.core.validate import ValidationReport, validate_store
+from repro.core.multilevel import MultiLevelCandidates
+from repro.core.offs import OFFSCodec
+from repro.core.serialize import dumps_store, dumps_table, loads_store, loads_table
+from repro.core.store import CompressedPathStore
+from repro.core.supernode_table import SupernodeTable
+from repro.core.trie import TrieCandidates
+
+__all__ = [
+    "TuningResult",
+    "autotune",
+    "SegmentedArchive",
+    "ValidationReport",
+    "validate_store",
+    "BuildReport",
+    "TableBuilder",
+    "build_supernode_table",
+    "PathCodec",
+    "TableCodec",
+    "compress_dataset",
+    "compress_path",
+    "decompress_dataset",
+    "decompress_path",
+    "OFFSConfig",
+    "ConfigError",
+    "CorruptDataError",
+    "NotFittedError",
+    "PathIdError",
+    "ReproError",
+    "TableError",
+    "CandidateSet",
+    "parallel_compress",
+    "parallel_decompress",
+    "AutoSegmentingStream",
+    "StreamingCompressor",
+    "TopDownRefiner",
+    "HashCandidates",
+    "MultiLevelCandidates",
+    "TrieCandidates",
+    "make_candidate_set",
+    "OFFSCodec",
+    "dumps_store",
+    "dumps_table",
+    "loads_store",
+    "loads_table",
+    "CompressedPathStore",
+    "SupernodeTable",
+]

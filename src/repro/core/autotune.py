@@ -1,0 +1,150 @@
+"""Automatic (i, k) selection — operationalizing the paper's Exp-1.
+
+The paper picks its deployed modes by eyeballing the Fig. 4 trade-off
+curves: "Regarding the trade-off between CS and CR, we pick two sets of
+(i, k), the default mode (4, 7) and the fast mode (2, 7)."  This module
+automates that decision for a new workload:
+
+* :func:`sweep` measures CR and CS over a grid of (i, k) on a pilot sample
+  of the data;
+* :func:`choose` applies the paper's selection logic: among configurations
+  within ``cr_tolerance`` of the best compression ratio, take the fastest
+  (the "default mode" pick), and also report the fastest configuration
+  losing at most ``fast_cr_loss`` absolute CR (the "fast mode" pick).
+
+The sweep measures on a bounded pilot (``pilot_paths``), so tuning cost is
+independent of archive size — the same reason table construction samples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import measure_codec
+from repro.core.config import OFFSConfig
+from repro.core.offs import OFFSCodec
+from repro.paths.dataset import PathDataset
+
+
+@dataclass(frozen=True)
+class TuningPoint:
+    """One measured (i, k) configuration."""
+
+    iterations: int
+    sample_exponent: int
+    compression_ratio: float
+    compression_speed_mbps: float
+
+    def as_row(self) -> Tuple[int, int, float, float]:
+        return (
+            self.iterations,
+            self.sample_exponent,
+            round(self.compression_ratio, 3),
+            round(self.compression_speed_mbps, 3),
+        )
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """The sweep's outcome: the two operating points, Exp-1 style."""
+
+    default_mode: TuningPoint
+    fast_mode: TuningPoint
+    points: Tuple[TuningPoint, ...]
+    pilot_paths: int
+    elapsed_seconds: float
+
+    def default_config(self, base: Optional[OFFSConfig] = None) -> OFFSConfig:
+        """An :class:`OFFSConfig` for the default-mode pick."""
+        base = base or OFFSConfig()
+        return base.with_(
+            iterations=self.default_mode.iterations,
+            sample_exponent=self.default_mode.sample_exponent,
+        )
+
+    def fast_config(self, base: Optional[OFFSConfig] = None) -> OFFSConfig:
+        """An :class:`OFFSConfig` for the fast-mode pick."""
+        base = base or OFFSConfig()
+        return base.with_(
+            iterations=self.fast_mode.iterations,
+            sample_exponent=self.fast_mode.sample_exponent,
+        )
+
+
+def sweep(
+    dataset,
+    i_values: Sequence[int] = (1, 2, 3, 4, 6),
+    k_values: Sequence[int] = (0, 1, 2, 3, 4),
+    base: Optional[OFFSConfig] = None,
+    pilot_paths: int = 2000,
+    seed: int = 0,
+) -> List[TuningPoint]:
+    """Measure CR and CS over the (i, k) grid on a pilot sample."""
+    base = base or OFFSConfig()
+    paths = list(dataset)
+    pilot = PathDataset(paths[:pilot_paths], name="pilot")
+    points: List[TuningPoint] = []
+    for i in i_values:
+        for k in k_values:
+            config = base.with_(iterations=i, sample_exponent=k, seed=seed)
+            measurement = measure_codec(OFFSCodec(config), pilot, verify=False)
+            points.append(
+                TuningPoint(
+                    iterations=i,
+                    sample_exponent=k,
+                    compression_ratio=measurement.compression_ratio,
+                    compression_speed_mbps=measurement.compression_speed_mbps,
+                )
+            )
+    return points
+
+
+def choose(
+    points: Sequence[TuningPoint],
+    cr_tolerance: float = 0.05,
+    fast_cr_loss: float = 0.35,
+) -> Tuple[TuningPoint, TuningPoint]:
+    """Apply the Exp-1 selection rule to measured *points*.
+
+    :param cr_tolerance: relative CR slack for the default mode — among
+        points within ``(1 - cr_tolerance) × best CR``, pick the fastest.
+    :param fast_cr_loss: absolute CR the fast mode may give up relative to
+        the default mode (the paper's OFFS* "only loses 0.33").
+    :returns: ``(default_mode, fast_mode)``.
+    """
+    if not points:
+        raise ValueError("no tuning points to choose from")
+    best_cr = max(p.compression_ratio for p in points)
+    default_pool = [
+        p for p in points if p.compression_ratio >= (1 - cr_tolerance) * best_cr
+    ]
+    default = max(default_pool, key=lambda p: p.compression_speed_mbps)
+    fast_pool = [
+        p for p in points
+        if p.compression_ratio >= default.compression_ratio - fast_cr_loss
+    ]
+    fast = max(fast_pool, key=lambda p: p.compression_speed_mbps)
+    return default, fast
+
+
+def autotune(
+    dataset,
+    base: Optional[OFFSConfig] = None,
+    pilot_paths: int = 2000,
+    cr_tolerance: float = 0.05,
+    fast_cr_loss: float = 0.35,
+    seed: int = 0,
+) -> TuningResult:
+    """One-call tuning: sweep the grid, pick the two operating points."""
+    started = time.perf_counter()
+    points = sweep(dataset, base=base, pilot_paths=pilot_paths, seed=seed)
+    default, fast = choose(points, cr_tolerance=cr_tolerance, fast_cr_loss=fast_cr_loss)
+    return TuningResult(
+        default_mode=default,
+        fast_mode=fast,
+        points=tuple(points),
+        pilot_paths=min(pilot_paths, len(dataset)),
+        elapsed_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,120 @@
+"""Compression and decompression of individual paths (Algorithms 1 and 2).
+
+These are the hot loops of the system.  Both operate per path — the property
+that gives OFFS its per-path random access ("the finest granularity of
+(de)compression ... as small as a path") — and both are pure functions of
+their inputs, so callers may fan them out over processes freely (the paper's
+OpenMP parallelism; see :func:`compress_dataset`'s ``chunked`` helpers).
+
+* :func:`compress_path` — greedy longest-match replacement of subpaths by
+  supernode ids (Algorithm 2); ``O(|P| · δ²)`` with the hash matcher,
+  ``O(|P| · δ)`` with the trie matcher.
+* :func:`decompress_path` — one-pass supernode expansion (Algorithm 1);
+  ``O(|P|)`` in the decompressed length (Lemma 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import TableError
+from repro.core.matcher import CandidateSet, static_matcher_from_table
+from repro.core.supernode_table import SupernodeTable
+
+CompressedPath = Tuple[int, ...]
+
+
+def compress_path(
+    path: Sequence[int],
+    table: SupernodeTable,
+    matcher: Optional[CandidateSet] = None,
+) -> CompressedPath:
+    """Compress one path against a finished supernode table (Algorithm 2).
+
+    Scans left to right; at each position the longest table subpath starting
+    there (capped by δ, the table's longest entry) is replaced by its
+    supernode id, otherwise the single vertex is copied through.
+
+    :param matcher: a prebuilt static matcher over *table*; pass one when
+        compressing many paths to amortize its construction (see
+        :func:`repro.core.matcher.static_matcher_from_table`).
+    """
+    if matcher is None:
+        matcher = static_matcher_from_table(table)
+    delta = table.max_subpath_length
+    out: List[int] = []
+    pos = 0
+    n = len(path)
+    while pos < n:
+        length = matcher.longest_match(path, pos, delta) if delta >= 2 else 1
+        if length > 1:
+            sid = table.get_id(tuple(path[pos : pos + length]))
+            if sid is None:
+                raise TableError(
+                    "matcher and table disagree: matched subpath "
+                    f"{tuple(path[pos:pos + length])!r} has no supernode id"
+                )
+            out.append(sid)
+        else:
+            vertex = path[pos]
+            if vertex >= table.base_id:
+                # A literal at or above base_id would decompress as a
+                # supernode.  This happens when the table was trained on a
+                # sample that missed the id range — train with an explicit
+                # base_id covering the whole universe instead.
+                raise TableError(
+                    f"vertex id {vertex} collides with the supernode id space "
+                    f"(base_id={table.base_id}); fit the table with a base_id "
+                    "above every vertex id that will ever be compressed"
+                )
+            out.append(vertex)
+        pos += length
+    return tuple(out)
+
+
+def decompress_path(compressed: Sequence[int], table: SupernodeTable) -> Tuple[int, ...]:
+    """Restore one path from its compressed form (Algorithm 1).
+
+    Every symbol at or above the table's ``base_id`` is expanded to its
+    subpath; vertex ids pass through unchanged.
+    """
+    out: List[int] = []
+    base = table.base_id
+    for symbol in compressed:
+        if symbol >= base:
+            out.extend(table.expand(symbol))
+        else:
+            out.append(symbol)
+    return tuple(out)
+
+
+def compress_dataset(
+    paths: Iterable[Sequence[int]],
+    table: SupernodeTable,
+    matcher: Optional[CandidateSet] = None,
+) -> List[CompressedPath]:
+    """Compress every path in *paths*, sharing one static matcher."""
+    if matcher is None:
+        matcher = static_matcher_from_table(table)
+    return [compress_path(p, table, matcher) for p in paths]
+
+
+def decompress_dataset(
+    compressed_paths: Iterable[Sequence[int]],
+    table: SupernodeTable,
+) -> List[Tuple[int, ...]]:
+    """Decompress every compressed path in *compressed_paths*."""
+    return [decompress_path(c, table) for c in compressed_paths]
+
+
+def chunked(items: Sequence, chunk_size: int) -> Iterable[Sequence]:
+    """Split *items* into contiguous chunks for parallel fan-out.
+
+    The algorithms are pure per path, so a pool can map
+    ``compress_dataset``/``decompress_dataset`` over these chunks to realize
+    the paper's ``O(|P| · δ² / p)`` parallel bound.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    for start in range(0, len(items), chunk_size):
+        yield items[start : start + chunk_size]

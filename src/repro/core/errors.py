@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific failures derive from :class:`ReproError`, so callers can
+catch one base class.  Errors are raised eagerly — a compressor that silently
+produces a wrong stream is worse than one that refuses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An :class:`~repro.core.config.OFFSConfig` parameter is invalid."""
+
+
+class TableError(ReproError, ValueError):
+    """A supernode table is malformed or used inconsistently."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A codec was asked to (de)compress before a table was built."""
+
+
+class CorruptDataError(ReproError, ValueError):
+    """A serialized blob failed validation during decoding."""
+
+
+class PathIdError(ReproError, KeyError):
+    """A path id is unknown to the compressed store."""

@@ -1,0 +1,145 @@
+"""The two-level hash matcher of Algorithm 7 (``LongestPrefix*``).
+
+The flat hash probe of Algorithm 6 re-hashes a shared prefix once per probed
+length — Example 3 counts 35 hashed vertices for a failed length-8 probe.
+Algorithm 7 splits every candidate longer than ``alpha`` (α) into a *primary*
+key, its first α vertices, and a *secondary* key, the remainder:
+
+* ``H1`` holds all candidates of length ≤ α directly.
+* ``H2`` maps each primary key to a small hash table of secondary keys.
+
+A probe for a long match hashes the primary key once; only the (short) suffix
+is re-hashed while shrinking, giving the
+``O(max(|P|·α², |P|·(δ−α)²))`` bound of Lemma 3 — minimized near α = δ/2
+(the paper deploys α = 5 with δ = 8).
+
+Match *results* are identical to the flat backend; only probe cost differs.
+Algorithm 7's side effect of promoting a matched primary key into ``H1``
+(its lines 12–13) is available via ``promote_prefixes=True`` and is ablated
+in ``benchmarks/bench_ablation_matchers.py``; it is off by default so all
+backends stay result-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.core.matcher import CandidateSet, Subpath
+
+
+class MultiLevelCandidates(CandidateSet):
+    """Candidate set indexed by the Algorithm 7 two-level hash scheme.
+
+    :param alpha: primary-key length α (candidates of length ≤ α live in the
+        one-level table).
+    :param promote_prefixes: when ``True``, a successful primary-key hit whose
+        suffix probe fails registers the α-prefix itself as a candidate, as
+        the pseudocode's lines 12–13 do.
+    """
+
+    def __init__(self, alpha: int = 5, promote_prefixes: bool = False) -> None:
+        from repro.core.probestats import ProbeStats
+
+        if alpha < 1:
+            raise ValueError("alpha must be >= 1")
+        self.alpha = alpha
+        self.promote_prefixes = promote_prefixes
+        self._h1: Dict[Subpath, int] = {}
+        self._h2: Dict[Subpath, Dict[Subpath, int]] = {}
+        self._max_len = 0
+        #: Work counters for the §IV-C cost analysis.
+        self.stats = ProbeStats()
+
+    # -- CandidateSet interface -------------------------------------------------
+
+    def add(self, seq: Sequence[int], weight: int = 1) -> None:
+        sp = tuple(seq)
+        if len(sp) < 2:
+            raise ValueError(f"candidates need >= 2 vertices, got {sp!r}")
+        if len(sp) <= self.alpha:
+            self._h1[sp] = self._h1.get(sp, 0) + weight
+        else:
+            primary, secondary = sp[: self.alpha], sp[self.alpha :]
+            bucket = self._h2.setdefault(primary, {})
+            bucket[secondary] = bucket.get(secondary, 0) + weight
+        if len(sp) > self._max_len:
+            self._max_len = len(sp)
+
+    def weight(self, seq: Sequence[int]) -> Optional[int]:
+        sp = tuple(seq)
+        if len(sp) <= self.alpha:
+            return self._h1.get(sp)
+        bucket = self._h2.get(sp[: self.alpha])
+        if bucket is None:
+            return None
+        return bucket.get(sp[self.alpha :])
+
+    def discard(self, seq: Sequence[int]) -> None:
+        sp = tuple(seq)
+        if len(sp) <= self.alpha:
+            self._h1.pop(sp, None)
+            return
+        primary = sp[: self.alpha]
+        bucket = self._h2.get(primary)
+        if bucket is not None:
+            bucket.pop(sp[self.alpha :], None)
+            if not bucket:
+                del self._h2[primary]
+
+    def longest_match(self, path: Sequence[int], pos: int, cap: int) -> int:
+        limit = min(cap, self._max_len, len(path) - pos)
+        alpha = self.alpha
+        stats = self.stats
+        if limit > alpha:
+            # One primary-key hash of alpha vertices...
+            stats.probes += 1
+            stats.hashed_vertices += alpha
+            primary = tuple(path[pos : pos + alpha])
+            bucket = self._h2.get(primary)
+            if bucket is not None:
+                # ...then only the shrinking suffix is re-hashed.
+                for length in range(limit, alpha, -1):
+                    stats.probes += 1
+                    stats.hashed_vertices += length - alpha
+                    if tuple(path[pos + alpha : pos + length]) in bucket:
+                        return length
+                if self.promote_prefixes:
+                    # Algorithm 7 lines 12-13: the primary key becomes a
+                    # candidate of its own right.
+                    self._h1[primary] = self._h1.get(primary, 0) + 1
+                    return alpha
+            limit = min(limit, alpha)
+        for length in range(limit, 1, -1):
+            stats.probes += 1
+            stats.hashed_vertices += length
+            if tuple(path[pos : pos + length]) in self._h1:
+                return length
+        return 1
+
+    def items(self) -> Iterator[Tuple[Subpath, int]]:
+        for sp, w in list(self._h1.items()):
+            yield sp, w
+        for primary, bucket in list(self._h2.items()):
+            for secondary, w in list(bucket.items()):
+                yield primary + secondary, w
+
+    def __len__(self) -> int:
+        return len(self._h1) + sum(len(b) for b in self._h2.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiLevelCandidates(alpha={self.alpha}, h1={len(self._h1)}, "
+            f"h2_buckets={len(self._h2)})"
+        )
+
+    # -- introspection ------------------------------------------------------------
+
+    def probe_cost_bound(self, delta: int) -> int:
+        """Lemma 3's per-position hashed-vertex bound for a given δ.
+
+        Provided for the ablation benchmark's commentary: the flat scheme
+        hashes ``O(δ²)`` vertices per failed probe, this one
+        ``O(max(α², (δ-α)²))`` plus one α-vertex primary hash.
+        """
+        suffix = delta - self.alpha
+        return max(self.alpha * self.alpha, suffix * suffix) + self.alpha

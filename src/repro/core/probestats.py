@@ -1,0 +1,44 @@
+"""Probe-cost accounting for the matcher backends.
+
+The paper's §IV-C argument is about *hash cost*, not results: Example 3
+counts 35 hashed vertices for a failed length-8 probe under the flat scheme
+(``(8+2)(8-2+1)/2``), Example 4 bounds the two-level scheme at 14 for the
+same query, and §IV-D promises ``O(δ)`` for the trie.  Wall-clock timings in
+pure Python are too noisy to verify constant-factor claims, so the backends
+count their work instead:
+
+* ``probes`` — membership tests issued;
+* ``hashed_vertices`` — vertices fed to hash functions (tuple construction
+  and hashing are linear in length, the cost model of Lemma 3); for the
+  trie, child-pointer dereferences (its per-vertex unit of work).
+
+``tests/test_probe_costs.py`` re-derives the Examples' arithmetic from
+these counters, and the A1 ablation bench reports them alongside timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ProbeStats:
+    """Work counters accumulated across ``longest_match`` calls."""
+
+    probes: int = 0
+    hashed_vertices: int = 0
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.probes = 0
+        self.hashed_vertices = 0
+
+    def snapshot(self) -> "ProbeStats":
+        """A copy of the current counters."""
+        return ProbeStats(self.probes, self.hashed_vertices)
+
+    def __add__(self, other: "ProbeStats") -> "ProbeStats":
+        return ProbeStats(
+            self.probes + other.probes,
+            self.hashed_vertices + other.hashed_vertices,
+        )

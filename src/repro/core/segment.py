@@ -1,0 +1,210 @@
+"""Segmented archives — "more tables to be collected every day".
+
+The paper's deployment accumulates "more than 50 GB of data from nearly one
+million data transmissions in one day.  And there are massive data to be
+collected by more tables every day."  Tables are immutable once paths are
+compressed against them (the archive must stay decodable), so the
+operational unit is the *segment*: one supernode table plus the store of
+paths compressed against it — a day, a shard, or a drift epoch.
+
+:class:`SegmentedArchive` manages an ordered list of segments behind one
+global path-id space and one query surface:
+
+* ingest goes to the active segment; :meth:`rotate` seals it and starts a
+  new one trained on recent data (what the streaming compressor's drift
+  signal should trigger);
+* :meth:`retrieve` maps a global id to ``(segment, local id)`` in O(log
+  #segments);
+* Case 1/2 queries fan out across segments and merge;
+* serialization round-trips the whole archive.
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.builder import TableBuilder
+from repro.core.config import OFFSConfig
+from repro.core.errors import CorruptDataError, PathIdError
+from repro.core.serialize import dumps_store, loads_store
+from repro.core.store import CompressedPathStore
+from repro.paths.dataset import PathDataset
+from repro.paths.encoding import DEFAULT_ENCODING, Encoding
+
+_MAGIC = b"RPSA"  # RePro Segmented Archive
+_VERSION = 1
+
+
+class SegmentedArchive:
+    """An ordered collection of compressed segments with global path ids.
+
+    :param config: OFFS configuration used when training segment tables.
+    :param base_id: supernode id base shared by all segments; must exceed
+        every vertex id the archive will ever see.
+    """
+
+    def __init__(self, config: Optional[OFFSConfig] = None, base_id: int = 1 << 30) -> None:
+        self.config = config or OFFSConfig(sample_exponent=0)
+        self.base_id = base_id
+        self._segments: List[CompressedPathStore] = []
+        self._offsets: List[int] = []  # global id of each segment's first path
+
+    # -- segment management ----------------------------------------------------------
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def segments(self) -> List[CompressedPathStore]:
+        """The segment stores, oldest first (do not mutate)."""
+        return list(self._segments)
+
+    def start_segment(self, training_paths: Sequence[Sequence[int]]) -> int:
+        """Seal the active segment and open a new one.
+
+        :param training_paths: what the new segment's table is built from
+            (typically the most recent traffic).
+        :returns: the new segment's index.
+        """
+        if not training_paths:
+            raise ValueError("a segment needs training paths for its table")
+        table, _ = TableBuilder(self.config).build(
+            PathDataset(training_paths, name=f"segment{len(self._segments)}"),
+            base_id=self.base_id,
+        )
+        self._offsets.append(len(self))
+        self._segments.append(CompressedPathStore(table))
+        return len(self._segments) - 1
+
+    # ``rotate`` reads better at call sites that seal on drift.
+    rotate = start_segment
+
+    def append(self, path: Sequence[int]) -> int:
+        """Compress *path* into the active segment; returns its global id."""
+        if not self._segments:
+            raise RuntimeError("no active segment; call start_segment() first")
+        local = self._segments[-1].append(path)
+        return self._offsets[-1] + local
+
+    def extend(self, paths: Iterable[Sequence[int]]) -> List[int]:
+        """Append many paths; returns their global ids."""
+        return [self.append(p) for p in paths]
+
+    # -- retrieval ----------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        if not self._segments:
+            return 0
+        return self._offsets[-1] + len(self._segments[-1])
+
+    def _locate(self, global_id: int) -> Tuple[int, int]:
+        if not 0 <= global_id < len(self):
+            raise PathIdError(f"path id {global_id} not in archive of {len(self)} paths")
+        segment = bisect.bisect_right(self._offsets, global_id) - 1
+        return segment, global_id - self._offsets[segment]
+
+    def retrieve(self, global_id: int) -> Tuple[int, ...]:
+        """Decompress one path by global id."""
+        segment, local = self._locate(global_id)
+        return self._segments[segment].retrieve(local)
+
+    def retrieve_many(self, global_ids: Iterable[int]) -> List[Tuple[int, ...]]:
+        """Decompress several paths by global id, in the given order."""
+        return [self.retrieve(g) for g in global_ids]
+
+    def retrieve_all(self) -> List[Tuple[int, ...]]:
+        """Decompress the whole archive, oldest segment first."""
+        out: List[Tuple[int, ...]] = []
+        for store in self._segments:
+            out.extend(store.retrieve_all())
+        return out
+
+    # -- queries (fan out + merge) ----------------------------------------------------------
+
+    def paths_containing(self, vertex: int) -> List[int]:
+        """Case 1 across segments: global ids of paths through *vertex*."""
+        from repro.queries.index import VertexIndex
+
+        result: List[int] = []
+        for offset, store in zip(self._offsets, self._segments):
+            index = VertexIndex(store)
+            result.extend(offset + local for local in index.paths_containing(vertex))
+        return result
+
+    def paths_between(self, source: int, destination: int) -> List[Tuple[int, ...]]:
+        """Case 2 across segments: all paths from *source* to *destination*."""
+        from repro.queries.retrieval import PathQueryEngine
+
+        matches: List[Tuple[int, ...]] = []
+        for store in self._segments:
+            matches.extend(PathQueryEngine(store).paths_between(source, destination))
+        return matches
+
+    def affected_vertices(self, issue_vertex: int) -> Set[int]:
+        """Case 1's answer set, merged across segments."""
+        affected: Set[int] = set()
+        for global_id in self.paths_containing(issue_vertex):
+            affected.update(self.retrieve(global_id))
+        affected.discard(issue_vertex)
+        return affected
+
+    # -- sizes ----------------------------------------------------------------------------------
+
+    def compressed_size_bytes(self, encoding: Encoding = DEFAULT_ENCODING) -> int:
+        """Total bytes across all segments (each pays its own table)."""
+        return sum(s.compressed_size_bytes(encoding) for s in self._segments)
+
+    def raw_size_bytes(self, encoding: Encoding = DEFAULT_ENCODING) -> int:
+        """Bytes of the uncompressed archive."""
+        return sum(s.raw_size_bytes(encoding) for s in self._segments)
+
+    def compression_ratio(self, encoding: Encoding = DEFAULT_ENCODING) -> float:
+        compressed = self.compressed_size_bytes(encoding)
+        return self.raw_size_bytes(encoding) / compressed if compressed else 0.0
+
+    def __repr__(self) -> str:
+        return f"SegmentedArchive(segments={self.segment_count}, paths={len(self)})"
+
+    # -- serialization ------------------------------------------------------------------------------
+
+    def dumps(self) -> bytes:
+        """Serialize the whole archive (all segments) to bytes."""
+        out = bytearray()
+        out += _MAGIC
+        out += struct.pack("<BIQ", _VERSION, len(self._segments), self.base_id)
+        for store in self._segments:
+            blob = dumps_store(store)
+            out += struct.pack("<I", len(blob))
+            out += blob
+        return bytes(out)
+
+    @classmethod
+    def loads(cls, data: bytes, config: Optional[OFFSConfig] = None) -> "SegmentedArchive":
+        """Restore an archive serialized by :meth:`dumps`."""
+        if data[:4] != _MAGIC:
+            raise CorruptDataError("not a segmented-archive blob (bad magic)")
+        try:
+            version, count, base_id = struct.unpack_from("<BIQ", data, 4)
+        except struct.error as exc:
+            raise CorruptDataError("truncated segmented-archive header") from exc
+        if version != _VERSION:
+            raise CorruptDataError(f"unsupported segmented-archive version {version}")
+        archive = cls(config=config, base_id=base_id)
+        pos = 4 + struct.calcsize("<BIQ")
+        for _ in range(count):
+            try:
+                (size,) = struct.unpack_from("<I", data, pos)
+            except struct.error as exc:
+                raise CorruptDataError("truncated segment length") from exc
+            pos += 4
+            if pos + size > len(data):
+                raise CorruptDataError("truncated segment blob")
+            store = loads_store(data[pos : pos + size])
+            pos += size
+            archive._offsets.append(len(archive))
+            archive._segments.append(store)
+        if pos != len(data):
+            raise CorruptDataError("trailing garbage after last segment")
+        return archive

@@ -1,0 +1,151 @@
+"""Binary serialization for supernode tables and compressed stores.
+
+Persisting compressed archives is where the compression ratio becomes real
+bytes on disk.  The formats here are deliberately simple, versioned and fully
+validated on load (:class:`~repro.core.errors.CorruptDataError` on any
+inconsistency):
+
+* **Table blob** — magic ``RPST``, version, base id, entry count, then per
+  entry a varint length and varint vertex ids.  Entry order encodes the id
+  assignment, so no ids are written.
+* **Store blob** — magic ``RPCS``, version, a CRC32 of everything that
+  follows, the table blob, token count, then per token a varint length and
+  varint symbols.  The checksum makes *any* single-bit corruption of an
+  archive detectable (the fuzz tests flip every byte and expect
+  :class:`CorruptDataError`).
+
+Varints are used on disk regardless of the in-memory size model; frequent
+supernodes get small ids by construction, so the on-disk form is usually
+smaller than the 4-bytes-per-symbol accounting the paper uses.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import List, Tuple
+
+from repro.core.errors import CorruptDataError
+from repro.core.store import CompressedPathStore
+from repro.core.supernode_table import SupernodeTable
+from repro.paths.encoding import VarintEncoding
+
+_TABLE_MAGIC = b"RPST"
+_STORE_MAGIC = b"RPCS"
+_VERSION = 1
+_VARINT = VarintEncoding()
+
+
+def dumps_table(table: SupernodeTable) -> bytes:
+    """Serialize a supernode table to bytes."""
+    out = bytearray()
+    out += _TABLE_MAGIC
+    out += struct.pack("<BII", _VERSION, table.base_id, len(table))
+    for sid in range(table.base_id, table.base_id + len(table)):
+        subpath = table.expand(sid)
+        out += _VARINT.encode([len(subpath)])
+        out += _VARINT.encode(subpath)
+    return bytes(out)
+
+
+def loads_table(data: bytes) -> Tuple[SupernodeTable, int]:
+    """Restore a table from bytes; returns ``(table, bytes_consumed)``."""
+    if data[:4] != _TABLE_MAGIC:
+        raise CorruptDataError("not a supernode-table blob (bad magic)")
+    try:
+        version, base_id, count = struct.unpack_from("<BII", data, 4)
+    except struct.error as exc:
+        raise CorruptDataError("truncated supernode-table header") from exc
+    if version != _VERSION:
+        raise CorruptDataError(f"unsupported supernode-table version {version}")
+    pos = 4 + struct.calcsize("<BII")
+    subpaths: List[Tuple[int, ...]] = []
+    for _ in range(count):
+        length, pos = _read_varint(data, pos)
+        if length < 2:
+            raise CorruptDataError(f"table entry of invalid length {length}")
+        entry = []
+        for _ in range(length):
+            value, pos = _read_varint(data, pos)
+            entry.append(value)
+        subpaths.append(tuple(entry))
+    try:
+        table = SupernodeTable(base_id, subpaths)
+    except Exception as exc:
+        raise CorruptDataError(f"invalid table contents: {exc}") from exc
+    return table, pos
+
+
+def dumps_store(store: CompressedPathStore) -> bytes:
+    """Serialize a compressed store (table + all tokens) to bytes."""
+    payload = bytearray()
+    payload += dumps_table(store.table)
+    payload += struct.pack("<I", len(store))
+    for token in store.tokens():
+        payload += _VARINT.encode([len(token)])
+        payload += _VARINT.encode(token)
+    out = bytearray()
+    out += _STORE_MAGIC
+    out += struct.pack("<BI", _VERSION, zlib.crc32(bytes(payload)))
+    out += payload
+    return bytes(out)
+
+
+def loads_store(data: bytes) -> CompressedPathStore:
+    """Restore a compressed store from :func:`dumps_store` output.
+
+    Validates the payload CRC32 before parsing anything, so corruption is
+    reported as :class:`CorruptDataError` rather than surfacing as a wrong
+    path later.
+    """
+    if data[:4] != _STORE_MAGIC:
+        raise CorruptDataError("not a compressed-store blob (bad magic)")
+    header_size = 4 + struct.calcsize("<BI")
+    if len(data) < header_size:
+        raise CorruptDataError("truncated compressed-store header")
+    version, checksum = struct.unpack_from("<BI", data, 4)
+    if version != _VERSION:
+        raise CorruptDataError(f"unsupported compressed-store version {version}")
+    if zlib.crc32(data[header_size:]) != checksum:
+        raise CorruptDataError("checksum mismatch (archive is corrupt)")
+    table, consumed = loads_table(data[header_size:])
+    pos = header_size + consumed
+    try:
+        (count,) = struct.unpack_from("<I", data, pos)
+    except struct.error as exc:
+        raise CorruptDataError("truncated token count") from exc
+    pos += 4
+    store = CompressedPathStore(table)
+    base = table.base_id
+    limit = base + len(table)
+    for _ in range(count):
+        length, pos = _read_varint(data, pos)
+        token = []
+        for _ in range(length):
+            value, pos = _read_varint(data, pos)
+            if value >= limit:
+                raise CorruptDataError(
+                    f"token references supernode {value} beyond table (limit {limit})"
+                )
+            token.append(value)
+        store._tokens.append(tuple(token))
+    if pos != len(data):
+        raise CorruptDataError("trailing garbage after last token")
+    return store
+
+
+def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    """Decode one varint at *pos*; returns ``(value, new_pos)``."""
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CorruptDataError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise CorruptDataError("varint too long (corrupt stream)")

@@ -1,0 +1,162 @@
+"""A compressed path store with per-path random access.
+
+The applications that motivate the paper (Cases 1 and 2 of the introduction)
+never decompress the whole archive: they pull out *some* paths — those
+through an anomalous server, those between a client/terminal pair — and leave
+the rest compressed.  :class:`CompressedPathStore` is that storage layer:
+
+* paths are compressed individually at ingest and held as integer tokens;
+* :meth:`retrieve` decompresses exactly one path (``O(|P|)``, Lemma 1);
+* :meth:`retrieve_many` / :meth:`retrieve_fraction` support the partial
+  decompression measurements of Fig. 6b;
+* byte accounting (:meth:`compressed_size_bytes`, :meth:`raw_size_bytes`)
+  follows the paper's ``CR = |P| / (|P'| + |R|)``.
+
+The store is append-only; path ids are dense ints in insertion order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.core.compressor import decompress_path
+from repro.core.errors import PathIdError
+from repro.core.matcher import CandidateSet, static_matcher_from_table
+from repro.core.supernode_table import SupernodeTable
+from repro.paths.encoding import DEFAULT_ENCODING, Encoding
+
+
+class CompressedPathStore:
+    """Compressed, individually-retrievable storage for a path set.
+
+    :param table: the supernode table paths are compressed against.
+
+    Build one with :meth:`from_dataset` (fits nothing — bring a trained
+    table or codec) or ingest incrementally with :meth:`append`.
+    """
+
+    def __init__(self, table: SupernodeTable) -> None:
+        self.table = table
+        self._matcher: CandidateSet = static_matcher_from_table(table)
+        self._tokens: List[Tuple[int, ...]] = []
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def from_dataset(cls, dataset, table: SupernodeTable) -> "CompressedPathStore":
+        """Compress every path of *dataset* into a new store."""
+        store = cls(table)
+        store.extend(dataset)
+        return store
+
+    @classmethod
+    def from_codec(cls, dataset, codec) -> "CompressedPathStore":
+        """Fit *codec* on *dataset* and ingest the whole dataset.
+
+        *codec* must be a :class:`~repro.core.codec.TableCodec` (the store
+        needs a supernode table to expand from).
+        """
+        codec.fit(dataset)
+        return cls.from_dataset(dataset, codec.table)
+
+    def append(self, path: Sequence[int]) -> int:
+        """Compress and store one path; returns its path id."""
+        from repro.core.compressor import compress_path
+
+        token = compress_path(path, self.table, self._matcher)
+        self._tokens.append(token)
+        return len(self._tokens) - 1
+
+    def extend(self, paths: Iterable[Sequence[int]]) -> List[int]:
+        """Append many paths; returns their ids in order."""
+        return [self.append(p) for p in paths]
+
+    # -- retrieval ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def token(self, path_id: int) -> Tuple[int, ...]:
+        """The raw compressed token for *path_id* (no decompression)."""
+        self._check_id(path_id)
+        return self._tokens[path_id]
+
+    def tokens(self) -> List[Tuple[int, ...]]:
+        """All compressed tokens, in path-id order (do not mutate)."""
+        return self._tokens
+
+    def retrieve(self, path_id: int) -> Tuple[int, ...]:
+        """Decompress and return the single path *path_id*."""
+        self._check_id(path_id)
+        return decompress_path(self._tokens[path_id], self.table)
+
+    def retrieve_many(self, path_ids: Iterable[int]) -> List[Tuple[int, ...]]:
+        """Decompress exactly the given paths, leaving the rest compressed.
+
+        This is the paper's partial decompression ``f^T : (Q', R) => Q``.
+        """
+        return [self.retrieve(pid) for pid in path_ids]
+
+    def retrieve_all(self) -> List[Tuple[int, ...]]:
+        """Decompress the full store (the DS measurement of Fig. 6a)."""
+        table = self.table
+        return [decompress_path(t, table) for t in self._tokens]
+
+    def retrieve_fraction(self, fraction: float, seed: int = 0) -> List[Tuple[int, ...]]:
+        """Decompress a uniform random *fraction* of paths (Fig. 6b's PDS).
+
+        Deterministic for a given *seed*.
+        """
+        import random
+
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        count = max(1, round(fraction * len(self._tokens)))
+        rng = random.Random(seed)
+        ids = rng.sample(range(len(self._tokens)), count)
+        return self.retrieve_many(ids)
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        """Iterate decompressed paths in path-id order."""
+        table = self.table
+        return (decompress_path(t, table) for t in self._tokens)
+
+    # -- size accounting ----------------------------------------------------------------
+
+    def compressed_symbol_count(self) -> int:
+        """Total integer symbols across all stored tokens."""
+        return sum(len(t) for t in self._tokens)
+
+    def compressed_size_bytes(self, encoding: Encoding = DEFAULT_ENCODING) -> int:
+        """``|P'| + |R|`` in bytes: tokens (with length markers) plus table."""
+        total = encoding.size_of_value(self.table.base_id)
+        for _, subpath in self.table:
+            total += encoding.size_of_value(len(subpath)) + encoding.size_of(subpath)
+        for token in self._tokens:
+            total += encoding.size_of_value(len(token)) + encoding.size_of(token)
+        return total
+
+    def raw_size_bytes(self, encoding: Encoding = DEFAULT_ENCODING) -> int:
+        """``|P|`` in bytes: what the uncompressed paths would cost."""
+        total = 0
+        for token in self._tokens:
+            path = decompress_path(token, self.table)
+            total += encoding.size_of_value(len(path)) + encoding.size_of(path)
+        return total
+
+    def compression_ratio(self, encoding: Encoding = DEFAULT_ENCODING) -> float:
+        """``CR = |P| / (|P'| + |R|)`` for the store's current contents."""
+        compressed = self.compressed_size_bytes(encoding)
+        return self.raw_size_bytes(encoding) / compressed if compressed else 0.0
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _check_id(self, path_id: int) -> None:
+        if not 0 <= path_id < len(self._tokens):
+            raise PathIdError(f"path id {path_id} not in store of {len(self._tokens)} paths")
+
+    def __repr__(self) -> str:
+        return (
+            f"CompressedPathStore(paths={len(self._tokens)}, "
+            f"table_entries={len(self.table)})"
+        )

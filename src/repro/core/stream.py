@@ -1,0 +1,293 @@
+"""Streaming ingestion — the "more advanced stream mode" the paper prefers.
+
+Exp-2 notes that at Alibaba's scale "it is preferable to adopt a more
+advanced stream mode that simultaneously handles reading and processing".
+:class:`StreamingCompressor` is that mode for this library:
+
+* **warm-up** — the first ``train_after`` paths are buffered uncompressed;
+  when the threshold is reached a supernode table is built from them and
+  the buffer is flushed through it (this mirrors Fig. 6c's "table based on
+  first arriving samples");
+* **steady state** — each arriving path is compressed immediately against
+  the frozen table;
+* **drift watch** — the compressor tracks a moving symbol-level ratio over
+  the last ``window`` paths; if it degrades below ``refit_ratio`` of the
+  ratio observed at training time, ``drifted`` turns on so the operator can
+  schedule a refit (tables stay immutable — compressed data must remain
+  decodable, so refitting means starting a new archive segment).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.builder import TableBuilder
+from repro.core.config import OFFSConfig
+from repro.core.store import CompressedPathStore
+from repro.paths.dataset import PathDataset
+
+
+class StreamingCompressor:
+    """Compresses an unbounded path stream with per-path granularity.
+
+    :param config: OFFS configuration for the warm-up table build.
+    :param train_after: number of warm-up paths buffered before the table
+        is constructed.
+    :param base_id: explicit supernode id base; required knowledge when the
+        stream may later carry vertex ids the warm-up never saw.  Defaults
+        to a generous margin above the warm-up maximum.
+    :param window: size of the drift-detection window, in paths.
+    :param refit_ratio: drift threshold — ``drifted`` turns on when the
+        windowed symbol ratio falls below ``refit_ratio × training ratio``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[OFFSConfig] = None,
+        train_after: int = 1000,
+        base_id: Optional[int] = None,
+        window: int = 500,
+        refit_ratio: float = 0.5,
+    ) -> None:
+        if train_after < 1:
+            raise ValueError("train_after must be >= 1")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < refit_ratio <= 1.0:
+            raise ValueError("refit_ratio must be in (0, 1]")
+        self.config = config or OFFSConfig(sample_exponent=0)
+        self.train_after = train_after
+        self.window = window
+        self.refit_ratio = refit_ratio
+        self._explicit_base_id = base_id
+        self._buffer: List[Tuple[int, ...]] = []
+        self._store: Optional[CompressedPathStore] = None
+        self._training_ratio: Optional[float] = None
+        self._recent: Deque[Tuple[int, int]] = deque(maxlen=window)
+        self.paths_seen = 0
+
+    # -- state ---------------------------------------------------------------------
+
+    @property
+    def trained(self) -> bool:
+        """``True`` once the warm-up table exists."""
+        return self._store is not None
+
+    @property
+    def store(self) -> CompressedPathStore:
+        """The underlying compressed store (after training)."""
+        if self._store is None:
+            raise RuntimeError(
+                "stream is still warming up; feed it at least "
+                f"{self.train_after} paths or call train_now()"
+            )
+        return self._store
+
+    @property
+    def drifted(self) -> bool:
+        """``True`` when the recent symbol ratio fell below the refit bar."""
+        if self._training_ratio is None or len(self._recent) < self.window:
+            return False
+        raw = sum(r for r, _ in self._recent)
+        compressed = sum(c for _, c in self._recent)
+        if compressed == 0:
+            return False
+        return (raw / compressed) < self.refit_ratio * self._training_ratio
+
+    # -- ingestion -------------------------------------------------------------------
+
+    def feed(self, path: Sequence[int]) -> Optional[int]:
+        """Ingest one path.
+
+        Returns the assigned path id once the stream is trained; during
+        warm-up returns ``None`` (ids are assigned at flush, in arrival
+        order, so they are stable either way).
+        """
+        path = tuple(path)
+        self.paths_seen += 1
+        if self._store is None:
+            self._buffer.append(path)
+            if len(self._buffer) >= self.train_after:
+                self.train_now()
+            return None
+        return self._ingest(path)
+
+    def feed_many(self, paths: Iterable[Sequence[int]]) -> List[Optional[int]]:
+        """Ingest many paths; returns their ids (``None`` during warm-up)."""
+        return [self.feed(p) for p in paths]
+
+    def train_now(self) -> None:
+        """Force table construction from whatever has been buffered."""
+        if self._store is not None:
+            raise RuntimeError("stream is already trained")
+        if not self._buffer:
+            raise RuntimeError("nothing buffered to train on")
+        warmup = PathDataset(self._buffer, name="warmup")
+        base_id = self._explicit_base_id
+        if base_id is None:
+            # Generous head-room: future paths will carry unseen ids.
+            base_id = max(1, (warmup.max_vertex_id() + 1) * 4)
+        table, _ = TableBuilder(self.config).build(warmup, base_id=base_id)
+        self._store = CompressedPathStore(table)
+        buffered, self._buffer = self._buffer, []
+        for path in buffered:
+            self._ingest(path)
+        ratios = [(r, c) for r, c in self._recent]
+        raw = sum(r for r, c in ratios)
+        compressed = sum(c for r, c in ratios)
+        self._training_ratio = (raw / compressed) if compressed else 1.0
+
+    def _ingest(self, path: Tuple[int, ...]) -> int:
+        assert self._store is not None
+        path_id = self._store.append(path)
+        token = self._store.token(path_id)
+        self._recent.append((len(path), len(token)))
+        return path_id
+
+    # -- reading ----------------------------------------------------------------------
+
+    def retrieve(self, path_id: int) -> Tuple[int, ...]:
+        """Random-access retrieval from the live archive."""
+        return self.store.retrieve(path_id)
+
+    def __len__(self) -> int:
+        return (len(self._store) if self._store else 0) + len(self._buffer)
+
+    def __repr__(self) -> str:
+        state = "trained" if self.trained else f"warming({len(self._buffer)})"
+        return f"StreamingCompressor({state}, seen={self.paths_seen})"
+
+
+class AutoSegmentingStream:
+    """The closed operational loop: stream, detect drift, rotate, repeat.
+
+    Wraps a :class:`~repro.core.segment.SegmentedArchive` and drives its
+    rotations from the same windowed ratio monitor
+    :class:`StreamingCompressor` uses.  Each arriving path is compressed
+    into the active segment; when the recent window compresses markedly
+    worse than the segment did at its start, a new segment is trained on
+    the most recent paths and subsequent traffic lands there.  Old
+    segments stay decodable; global ids are stable.
+
+    :param config: OFFS configuration for segment tables.
+    :param base_id: shared supernode id base (must exceed every vertex id).
+    :param warmup: paths buffered before the first segment trains, and
+        recent-path count used to train each rotation.
+    :param window: drift-detection window, in paths.
+    :param refit_ratio: rotate when the windowed symbol ratio falls below
+        ``refit_ratio ×`` the segment's initial ratio.
+    :param min_segment_paths: never rotate a segment younger than this
+        (guards against rotation thrash on bursty traffic).
+    """
+
+    def __init__(
+        self,
+        config: Optional[OFFSConfig] = None,
+        base_id: int = 1 << 30,
+        warmup: int = 500,
+        window: int = 300,
+        refit_ratio: float = 0.6,
+        min_segment_paths: int = 600,
+    ) -> None:
+        from repro.core.segment import SegmentedArchive
+
+        if warmup < 1 or window < 1 or min_segment_paths < 1:
+            raise ValueError("warmup, window and min_segment_paths must be >= 1")
+        if not 0.0 < refit_ratio <= 1.0:
+            raise ValueError("refit_ratio must be in (0, 1]")
+        self.archive = SegmentedArchive(
+            config=config or OFFSConfig(sample_exponent=0), base_id=base_id
+        )
+        self.warmup = warmup
+        self.window = window
+        self.refit_ratio = refit_ratio
+        self.min_segment_paths = min_segment_paths
+        self._buffer: List[Tuple[int, ...]] = []
+        self._recent: Deque[Tuple[int, int]] = deque(maxlen=window)
+        self._segment_ratio: Optional[float] = None
+        self._segment_paths = 0
+        self.rotations = 0
+
+    def feed(self, path: Sequence[int]) -> Optional[int]:
+        """Ingest one path; returns its global id (``None`` during warm-up)."""
+        path = tuple(path)
+        if self.archive.segment_count == 0:
+            self._buffer.append(path)
+            if len(self._buffer) >= self.warmup:
+                self.archive.start_segment(self._buffer)
+                buffered, self._buffer = self._buffer, []
+                last = None
+                for p in buffered:
+                    last = self._ingest(p)
+                self._seal_baseline()
+                return last
+            return None
+        gid = self._ingest(path)
+        self._maybe_rotate(path)
+        return gid
+
+    def feed_many(self, paths: Iterable[Sequence[int]]) -> List[Optional[int]]:
+        """Ingest many paths; returns their global ids."""
+        return [self.feed(p) for p in paths]
+
+    def _ingest(self, path: Tuple[int, ...]) -> int:
+        gid = self.archive.append(path)
+        token_len = len(self.archive.segments()[-1].token(
+            len(self.archive.segments()[-1]) - 1
+        ))
+        self._recent.append((len(path), token_len))
+        self._segment_paths += 1
+        return gid
+
+    def _seal_baseline(self) -> None:
+        raw = sum(r for r, _ in self._recent)
+        compressed = sum(c for _, c in self._recent)
+        self._segment_ratio = (raw / compressed) if compressed else 1.0
+
+    def _windowed_ratio(self) -> Optional[float]:
+        if len(self._recent) < self.window:
+            return None
+        raw = sum(r for r, _ in self._recent)
+        compressed = sum(c for _, c in self._recent)
+        return (raw / compressed) if compressed else None
+
+    def _maybe_rotate(self, latest: Tuple[int, ...]) -> None:
+        if self._segment_ratio is None:
+            # A fresh segment's baseline seals once a full window of its
+            # own traffic has been observed.
+            if len(self._recent) >= min(self.window, self.min_segment_paths):
+                self._seal_baseline()
+            return
+        if self._segment_paths < self.min_segment_paths:
+            return
+        current = self._windowed_ratio()
+        if current is None:
+            return
+        if current < self.refit_ratio * self._segment_ratio:
+            # Train the new segment on the drifted window's paths.
+            recent_count = min(self.window, len(self.archive))
+            start = len(self.archive) - recent_count
+            training = self.archive.retrieve_many(
+                range(start, len(self.archive))
+            )
+            self.archive.rotate(training)
+            self.rotations += 1
+            self._segment_paths = 0
+            self._recent.clear()
+            self._segment_ratio = None
+            # The first windowful in the new segment sets its baseline via
+            # _seal_baseline once enough paths arrive.
+
+    def retrieve(self, global_id: int) -> Tuple[int, ...]:
+        """Random-access retrieval by global id."""
+        return self.archive.retrieve(global_id)
+
+    def __len__(self) -> int:
+        return len(self.archive) + len(self._buffer)
+
+    def __repr__(self) -> str:
+        return (
+            f"AutoSegmentingStream(segments={self.archive.segment_count}, "
+            f"paths={len(self)}, rotations={self.rotations})"
+        )

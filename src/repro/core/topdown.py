@@ -1,0 +1,117 @@
+"""Hybrid top-down refinement — the §IV-D "possible optimization" (1).
+
+The bottom-up framework has a failure mode the paper hints at when it
+proposes "a hybrid framework combining top-down with bottom-up ... the
+top-down framework cuts the least important nodes to generate shorter
+subpaths": merge/expansion growth can overshoot.  A candidate that grew to
+include a rare affix (typically a near-unique path prefix or suffix) matches
+almost nothing, yet while it exists it shadows the frequent core it
+contains.  Bottom-up alone can then finalize a near-empty table on data
+whose paths rarely repeat *exactly* but share long interiors.
+
+:class:`TopDownRefiner` runs after the bottom-up iterations:
+
+1. find candidates whose practical weight is below the finalization bar;
+2. *cut* their least-important end vertices — the end whose adjacent edge is
+   globally rarer — producing shorter trial candidates (weight 0);
+3. drop the over-grown originals and re-count practical weights with a full
+   non-generating pass;
+4. repeat for a bounded number of rounds, pruning to λ each time.
+
+Enabled by ``OFFSConfig(topdown_rounds=N)``; the A4 ablation benchmark
+shows it rescuing the unique-paths workload where pure bottom-up degrades.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.matcher import CandidateSet
+
+Subpath = Tuple[int, ...]
+
+
+class TopDownRefiner:
+    """Cuts over-grown low-weight candidates back to their frequent cores.
+
+    :param min_weight: the finalization bar; candidates below it are
+        trimming targets (matches ``OFFSConfig.min_final_weight``).
+    :param min_length: never trim candidates below this length.
+    """
+
+    def __init__(self, min_weight: int = 2, min_length: int = 2) -> None:
+        if min_length < 2:
+            raise ValueError("min_length must be >= 2 (candidates are edges at least)")
+        self.min_weight = min_weight
+        self.min_length = min_length
+
+    # -- edge statistics -----------------------------------------------------------
+
+    @staticmethod
+    def edge_frequencies(paths: Sequence[Sequence[int]]) -> Dict[Tuple[int, int], int]:
+        """Occurrence counts of every directed edge in *paths*."""
+        counts: Counter = Counter()
+        for path in paths:
+            for i in range(len(path) - 1):
+                counts[(path[i], path[i + 1])] += 1
+        return counts
+
+    def cut_once(
+        self,
+        seq: Subpath,
+        edge_counts: Dict[Tuple[int, int], int],
+    ) -> Subpath:
+        """Drop the end vertex attached by the globally rarer edge.
+
+        "Cuts the least important nodes": the first vertex is held on by the
+        leading edge, the last by the trailing edge; whichever edge is rarer
+        is the least defensible attachment.
+        """
+        head_edge = (seq[0], seq[1])
+        tail_edge = (seq[-2], seq[-1])
+        if edge_counts.get(head_edge, 0) <= edge_counts.get(tail_edge, 0):
+            return seq[1:]
+        return seq[:-1]
+
+    # -- the refinement loop ----------------------------------------------------------
+
+    def refine(
+        self,
+        cands: CandidateSet,
+        paths: Sequence[Sequence[int]],
+        builder,
+        lam: int,
+        rounds: int = 2,
+    ) -> List[int]:
+        """Run up to *rounds* cut-and-recount passes over *cands*.
+
+        :param builder: the owning :class:`~repro.core.builder.TableBuilder`
+            (re-used for its non-generating counting pass).
+        :param lam: the λ capacity applied after each recount.
+        :returns: the number of candidates trimmed per round (for reports).
+        """
+        edge_counts = self.edge_frequencies(paths)
+        # A counting pass needs the full-δ cap; any iteration index with
+        # 2**it >= delta works.
+        counting_iteration = max(1, builder.config.delta.bit_length())
+        trimmed_per_round: List[int] = []
+
+        for _ in range(rounds):
+            weak = [
+                seq
+                for seq, weight in cands.items()
+                if weight < self.min_weight and len(seq) > self.min_length
+            ]
+            if not weak:
+                break
+            for seq in weak:
+                cands.discard(seq)
+                shorter = self.cut_once(seq, edge_counts)
+                if shorter not in cands:
+                    cands.add(shorter, 0)
+            trimmed_per_round.append(len(weak))
+            builder.run_iteration(
+                cands, paths, counting_iteration, lam, generate=False
+            )
+        return trimmed_per_round

@@ -1,0 +1,149 @@
+"""Trie-backed candidate set — the Section IV-D "possible optimization" (2).
+
+The paper sketches, as future work, replacing the hash tables with a prefix
+tree: "each node in the tree is composed of an index of the vertex and
+pointers to the next vertices in subpaths. ... the upper bound of each prefix
+match is optimized from O(δ²) to O(δ)".  This module implements that design.
+
+A probe walks forward from the query position, following one child pointer
+per vertex and remembering the deepest node that terminates a candidate — a
+single left-to-right scan, so each position costs at most δ child lookups
+regardless of how many lengths would have to be probed by a hash scheme.
+
+Match results are identical to the other backends; the ablation benchmark
+``benchmarks/bench_ablation_matchers.py`` measures the probe-cost difference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.matcher import CandidateSet, Subpath
+
+
+class _TrieNode:
+    """One vertex step in the candidate trie."""
+
+    __slots__ = ("children", "weight", "terminal")
+
+    def __init__(self) -> None:
+        self.children: Dict[int, _TrieNode] = {}
+        self.weight = 0
+        self.terminal = False
+
+
+class TrieCandidates(CandidateSet):
+    """Candidate set stored as a forward prefix tree."""
+
+    def __init__(self) -> None:
+        from repro.core.probestats import ProbeStats
+
+        self._root = _TrieNode()
+        self._count = 0
+        self._max_len = 0
+        #: Work counters; the trie's unit of work is one child-pointer
+        #: dereference per vertex (the §IV-D O(δ) bound).
+        self.stats = ProbeStats()
+
+    def _node_for(self, seq: Sequence[int], create: bool) -> Optional[_TrieNode]:
+        node = self._root
+        for v in seq:
+            child = node.children.get(v)
+            if child is None:
+                if not create:
+                    return None
+                child = _TrieNode()
+                node.children[v] = child
+            node = child
+        return node
+
+    # -- CandidateSet interface ---------------------------------------------------
+
+    def add(self, seq: Sequence[int], weight: int = 1) -> None:
+        sp = tuple(seq)
+        if len(sp) < 2:
+            raise ValueError(f"candidates need >= 2 vertices, got {sp!r}")
+        node = self._node_for(sp, create=True)
+        assert node is not None
+        if not node.terminal:
+            node.terminal = True
+            self._count += 1
+            if len(sp) > self._max_len:
+                self._max_len = len(sp)
+        node.weight += weight
+
+    def weight(self, seq: Sequence[int]) -> Optional[int]:
+        node = self._node_for(tuple(seq), create=False)
+        if node is None or not node.terminal:
+            return None
+        return node.weight
+
+    def discard(self, seq: Sequence[int]) -> None:
+        # Unmark the terminal; dangling interior nodes are pruned lazily by
+        # compact() since eager unlinking needs parent back-pointers.
+        node = self._node_for(tuple(seq), create=False)
+        if node is not None and node.terminal:
+            node.terminal = False
+            node.weight = 0
+            self._count -= 1
+
+    def longest_match(self, path: Sequence[int], pos: int, cap: int) -> int:
+        limit = min(cap, self._max_len, len(path) - pos)
+        node = self._root
+        best = 1
+        stats = self.stats
+        stats.probes += 1
+        for depth in range(limit):
+            stats.hashed_vertices += 1
+            node = node.children.get(path[pos + depth])
+            if node is None:
+                break
+            if node.terminal and depth + 1 >= 2:
+                best = depth + 1
+        return best
+
+    def items(self) -> Iterator[Tuple[Subpath, int]]:
+        stack: List[Tuple[_TrieNode, Tuple[int, ...]]] = [(self._root, ())]
+        collected: List[Tuple[Subpath, int]] = []
+        while stack:
+            node, prefix = stack.pop()
+            if node.terminal:
+                collected.append((prefix, node.weight))
+            for v, child in node.children.items():
+                stack.append((child, prefix + (v,)))
+        return iter(collected)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:
+        return f"TrieCandidates(entries={self._count}, max_len={self._max_len})"
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def compact(self) -> None:
+        """Prune subtrees that no longer lead to any terminal node.
+
+        ``discard`` only unmarks terminals; after heavy pruning (the top-λ
+        filter) call this to release memory and shorten failed probes.
+        """
+
+        def prune(node: _TrieNode) -> bool:
+            dead = [v for v, child in node.children.items() if not prune(child)]
+            for v in dead:
+                del node.children[v]
+            return node.terminal or bool(node.children)
+
+        prune(self._root)
+        self._max_len = self._recompute_max_len()
+
+    def _recompute_max_len(self) -> int:
+        best = 0
+        stack: List[Tuple[_TrieNode, int]] = [(self._root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if node.terminal and depth > best:
+                best = depth
+            for child in node.children.values():
+                stack.append((child, depth + 1))
+        return best

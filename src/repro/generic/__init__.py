@@ -1,0 +1,21 @@
+"""Generic byte-level compression substrate.
+
+The paper's strongest straightforward baseline, Dlz4, is "a popular generic
+compression method" (lz4's stream mode) seeded with a dictionary trained by
+zstd's ``zdict``.  Neither library is assumed here; instead this subpackage
+provides the same machinery from scratch:
+
+* :mod:`repro.generic.lz77` — a greedy hash-chain LZ77 codec over bytes with
+  preset-dictionary support, mirroring lz4's design (byte-oriented,
+  match-offset/length tokens, no entropy stage).
+* :mod:`repro.generic.dictionary` — a coverage-greedy dictionary trainer
+  standing in for ``zdict``.
+
+The stdlib :mod:`zlib` (which natively supports preset dictionaries) is used
+as a second, faster backend by :mod:`repro.baselines.dlz4`.
+"""
+
+from repro.generic.dictionary import train_dictionary
+from repro.generic.lz77 import lz77_compress, lz77_decompress
+
+__all__ = ["train_dictionary", "lz77_compress", "lz77_decompress"]

@@ -1,0 +1,35 @@
+"""Graph substrates and path generators.
+
+The paper's datasets are private (Alibaba Cloud IP hops) or gated (CRAWDAD
+taxi traces); this subpackage builds synthetic substrates with the same
+compression-relevant structure — bounded id universes, heavy-tailed route
+popularity, long shared segments:
+
+* :mod:`repro.graphs.topology` — a tiered cloud service topology and its
+  transaction-path sampler (the Figure 1/2 scenario).
+* :mod:`repro.graphs.road` — grid road networks with hotspot-to-hotspot
+  A* routing (the taxi scenario).
+* :mod:`repro.graphs.trajectory` — noisy GPS point streams over road routes
+  plus grid snapping, feeding the Section VI-A preprocessing pipeline.
+* :mod:`repro.graphs.walks` — generic random walks over adjacency maps, for
+  custom and adversarial workloads.
+"""
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.road import RoadNetwork
+from repro.graphs.scalefree import navigation_sessions, preferential_attachment_graph
+from repro.graphs.topology import CloudTopology
+from repro.graphs.trajectory import TrajectoryRecorder, snap_to_grid
+from repro.graphs.walks import random_simple_walks, zipf_choice
+
+__all__ = [
+    "DiGraph",
+    "RoadNetwork",
+    "navigation_sessions",
+    "preferential_attachment_graph",
+    "CloudTopology",
+    "TrajectoryRecorder",
+    "snap_to_grid",
+    "random_simple_walks",
+    "zipf_choice",
+]

@@ -1,0 +1,162 @@
+"""A lightweight directed graph — the substrate AFS and workloads assume.
+
+The paper's problem statement starts from "a directed graph G = (V, E)";
+recorded paths are walks over it.  Most of this repository never needs the
+graph itself (the compressor consumes paths), but two places do:
+
+* AFS (Algorithm 3) joins candidates with out-edges "suppose there is a
+  graph as ground truth";
+* workload generators need adjacency to sample structured walks.
+
+:class:`DiGraph` is deliberately small: adjacency sets, degree statistics,
+BFS shortest paths and reachability — no external dependency, no cleverness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+
+class DiGraph:
+    """A directed graph over integer vertex ids."""
+
+    def __init__(self) -> None:
+        self._out: Dict[int, Set[int]] = {}
+        self._in: Dict[int, Set[int]] = {}
+        self._edge_count = 0
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[int, int]]) -> "DiGraph":
+        """Build a graph from an edge iterable."""
+        graph = cls()
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[Sequence[int]]) -> "DiGraph":
+        """The edge union of a path set — the observable ground truth."""
+        graph = cls()
+        for path in paths:
+            for i in range(len(path) - 1):
+                graph.add_edge(path[i], path[i + 1])
+        return graph
+
+    def add_vertex(self, v: int) -> None:
+        """Ensure *v* exists (isolated vertices are allowed)."""
+        self._out.setdefault(v, set())
+        self._in.setdefault(v, set())
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add edge ``u -> v``; returns ``True`` when it is new."""
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._out[u]:
+            return False
+        self._out[u].add(v)
+        self._in[v].add(u)
+        self._edge_count += 1
+        return True
+
+    # -- queries ---------------------------------------------------------------------
+
+    def __contains__(self, v: int) -> bool:
+        return v in self._out
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """``True`` when edge ``u -> v`` exists."""
+        return v in self._out.get(u, ())
+
+    def out_neighbours(self, v: int) -> Set[int]:
+        """Successors of *v* (empty set for unknown vertices)."""
+        return set(self._out.get(v, ()))
+
+    def in_neighbours(self, v: int) -> Set[int]:
+        """Predecessors of *v*."""
+        return set(self._in.get(v, ()))
+
+    def out_degree(self, v: int) -> int:
+        return len(self._out.get(v, ()))
+
+    def in_degree(self, v: int) -> int:
+        return len(self._in.get(v, ()))
+
+    def vertices(self) -> List[int]:
+        """All vertex ids, sorted (deterministic iteration)."""
+        return sorted(self._out)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """All edges, in sorted order."""
+        for u in sorted(self._out):
+            for v in sorted(self._out[u]):
+                yield (u, v)
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self._out)
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def __repr__(self) -> str:
+        return f"DiGraph(vertices={self.vertex_count}, edges={self.edge_count})"
+
+    # -- walks -----------------------------------------------------------------------
+
+    def is_walk(self, path: Sequence[int]) -> bool:
+        """``True`` when consecutive vertices of *path* are all edges."""
+        return all(self.has_edge(path[i], path[i + 1]) for i in range(len(path) - 1))
+
+    def shortest_path(self, source: int, target: int) -> Optional[Tuple[int, ...]]:
+        """BFS shortest path (fewest hops) or ``None`` if unreachable.
+
+        Deterministic: neighbours are expanded in sorted order.
+        """
+        if source not in self._out or target not in self._out:
+            return None
+        if source == target:
+            return (source,)
+        parents: Dict[int, int] = {source: source}
+        queue: deque = deque([source])
+        while queue:
+            current = queue.popleft()
+            for nxt in sorted(self._out[current]):
+                if nxt in parents:
+                    continue
+                parents[nxt] = current
+                if nxt == target:
+                    path = [nxt]
+                    while path[-1] != source:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return tuple(path)
+                queue.append(nxt)
+        return None
+
+    def reachable_from(self, source: int) -> Set[int]:
+        """Every vertex reachable from *source* (including itself)."""
+        if source not in self._out:
+            return set()
+        seen: Set[int] = {source}
+        queue: deque = deque([source])
+        while queue:
+            current = queue.popleft()
+            for nxt in self._out[current]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return seen
+
+    # -- statistics --------------------------------------------------------------------
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """``{out-degree: vertex count}`` — workload shape validation."""
+        histogram: Dict[int, int] = {}
+        for v in self._out:
+            d = len(self._out[v])
+            histogram[d] = histogram.get(d, 0) + 1
+        return histogram

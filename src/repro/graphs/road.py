@@ -1,0 +1,171 @@
+"""Grid road networks with hotspot routing — the taxi-trace surrogate.
+
+The CRAWDAD taxi datasets (Rome, Porto, San Francisco) become, after the
+paper's grid-snapping preprocessing, paths over a bounded universe of grid
+cells in which popular origin/destination pairs share long route segments.
+:class:`RoadNetwork` reproduces that structure directly:
+
+* the city is a ``width × height`` 4-connected grid of cells (vertex id
+  ``row * width + col``);
+* trips run between *hotspots* (stations, malls, airports) whose pair
+  popularity is Zipf-distributed;
+* routing is deterministic A* (Manhattan heuristic, fixed tie-breaking), so
+  the same pair always yields the same route — shared segments arise exactly
+  as they do from real road constraints — with optional detour waypoints
+  modelling driver variation.
+
+Routes are cached per (origin, destination) so sampling a large dataset costs
+one A* per distinct pair.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs.walks import zipf_choice
+
+Cell = Tuple[int, int]
+
+
+class RoadNetwork:
+    """A 4-connected grid city with Zipf-popular hotspots.
+
+    :param width: grid columns.
+    :param height: grid rows.
+    :param hotspots: number of trip endpoints to scatter.
+    :param skew: Zipf exponent of hotspot popularity.
+    :param seed: seed for hotspot placement.
+    """
+
+    def __init__(
+        self,
+        width: int = 48,
+        height: int = 48,
+        hotspots: int = 24,
+        skew: float = 1.1,
+        seed: int = 0,
+    ) -> None:
+        if width < 2 or height < 2:
+            raise ValueError("grid must be at least 2x2")
+        if hotspots < 2:
+            raise ValueError("need at least two hotspots")
+        if hotspots > width * height:
+            raise ValueError("more hotspots than cells")
+        self.width = width
+        self.height = height
+        self.skew = skew
+        rng = random.Random(seed)
+        cells = rng.sample(
+            [(r, c) for r in range(height) for c in range(width)], hotspots
+        )
+        self.hotspots: List[Cell] = cells
+        self._route_cache: Dict[Tuple[Cell, Cell], Tuple[int, ...]] = {}
+
+    # -- geometry ---------------------------------------------------------------
+
+    def cell_id(self, cell: Cell) -> int:
+        """Dense vertex id of a grid cell."""
+        r, c = cell
+        if not (0 <= r < self.height and 0 <= c < self.width):
+            raise ValueError(f"cell {cell} outside the {self.height}x{self.width} grid")
+        return r * self.width + c
+
+    def cell_of(self, vertex: int) -> Cell:
+        """Inverse of :meth:`cell_id`."""
+        if not 0 <= vertex < self.width * self.height:
+            raise ValueError(f"vertex {vertex} outside the grid id range")
+        return divmod(vertex, self.width)
+
+    def neighbours(self, cell: Cell) -> List[Cell]:
+        """The 4-connected neighbours of a cell, in deterministic order."""
+        r, c = cell
+        out = []
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            nr, nc = r + dr, c + dc
+            if 0 <= nr < self.height and 0 <= nc < self.width:
+                out.append((nr, nc))
+        return out
+
+    # -- routing -------------------------------------------------------------------
+
+    def route(self, origin: Cell, destination: Cell) -> Tuple[int, ...]:
+        """Deterministic A* route between two cells, as vertex ids.
+
+        Cached; the Manhattan heuristic over a uniform grid makes the search
+        effectively a straight sweep, and the fixed neighbour order fixes the
+        tie-breaking so shared trunk segments emerge between nearby pairs.
+        """
+        key = (origin, destination)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        path = self._astar(origin, destination)
+        self._route_cache[key] = path
+        return path
+
+    def _astar(self, origin: Cell, destination: Cell) -> Tuple[int, ...]:
+        def heuristic(cell: Cell) -> int:
+            return abs(cell[0] - destination[0]) + abs(cell[1] - destination[1])
+
+        open_heap: List[Tuple[int, int, Cell]] = [(heuristic(origin), 0, origin)]
+        came_from: Dict[Cell, Optional[Cell]] = {origin: None}
+        g_score: Dict[Cell, int] = {origin: 0}
+        counter = 0
+        while open_heap:
+            _, _, current = heapq.heappop(open_heap)
+            if current == destination:
+                cells: List[Cell] = []
+                walk: Optional[Cell] = current
+                while walk is not None:
+                    cells.append(walk)
+                    walk = came_from[walk]
+                cells.reverse()
+                return tuple(self.cell_id(c) for c in cells)
+            current_g = g_score[current]
+            for nxt in self.neighbours(current):
+                tentative = current_g + 1
+                if tentative < g_score.get(nxt, 1 << 60):
+                    g_score[nxt] = tentative
+                    came_from[nxt] = current
+                    counter += 1
+                    heapq.heappush(open_heap, (tentative + heuristic(nxt), counter, nxt))
+        raise RuntimeError("grid is connected; A* cannot fail")  # pragma: no cover
+
+    def route_via(self, origin: Cell, waypoint: Cell, destination: Cell) -> Tuple[int, ...]:
+        """A detour route through *waypoint* (duplicate joint cell removed).
+
+        The result may revisit cells where the legs overlap — real recorded
+        trips do too; the preprocessing pipeline's cycle cutting handles it.
+        """
+        first = self.route(origin, waypoint)
+        second = self.route(waypoint, destination)
+        return first + second[1:]
+
+    # -- trip sampling ----------------------------------------------------------------
+
+    def sample_trip(self, rng: random.Random, detour_probability: float = 0.15) -> Tuple[int, ...]:
+        """Sample one trip between Zipf-popular hotspots.
+
+        With *detour_probability*, the trip takes a detour through a random
+        third hotspot (driver variation / passenger multi-stop).
+        """
+        n = len(self.hotspots)
+        a = zipf_choice(rng, n, self.skew)
+        b = zipf_choice(rng, n, self.skew)
+        while b == a:
+            b = zipf_choice(rng, n, self.skew)
+        origin, destination = self.hotspots[a], self.hotspots[b]
+        if rng.random() < detour_probability and n > 2:
+            c = rng.randrange(n)
+            if c not in (a, b):
+                return self.route_via(origin, self.hotspots[c], destination)
+        return self.route(origin, destination)
+
+    def generate_trips(
+        self, count: int, seed: int = 0, detour_probability: float = 0.15
+    ) -> List[Tuple[int, ...]]:
+        """Sample *count* trips deterministically for *seed*."""
+        rng = random.Random(seed)
+        return [self.sample_trip(rng, detour_probability) for _ in range(count)]

@@ -1,0 +1,181 @@
+"""Tiered cloud topology — the Alibaba Cloud surrogate (Figures 1 and 2).
+
+A transaction path in the paper's motivating scenario hops
+``client → (internet gateways) → firewall → web server → application
+servers → DBMS``, with each tier deployed on many machines and a dispatcher
+choosing among them by load, network status and strategy.  Two properties
+matter for compression and are modelled explicitly:
+
+* **skewed dispatch** — popular machines take most traffic (Zipf), so a small
+  set of tier-machine combinations dominates;
+* **service-chain templates** — the middle tier executes one of a bounded set
+  of microservice call chains, and popular chains recur across millions of
+  transactions.  These chains are precisely the long frequent subpaths OFFS
+  harvests.
+
+Vertex ids are dense and segregated by tier, so generated paths are simple by
+construction (no vertex appears in two tiers; chains visit distinct services).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.graphs.walks import zipf_choice
+
+
+@dataclass
+class CloudTopology:
+    """A synthetic multi-tier cloud deployment.
+
+    :param clients: size of the client id pool (large, mostly cold).
+    :param gateways: internet gateway machines.
+    :param firewalls: firewall machines.
+    :param web_servers: web-tier machines.
+    :param app_servers: application-tier machines.
+    :param services: microservice machines available to call chains.
+    :param databases: DBMS machines.
+    :param chain_templates: number of distinct service call chains.
+    :param chain_length: ``(min, max)`` services per chain template.
+    :param pods: number of deployment pods.  Real cloud traffic is routed
+        within pods — fixed (gateway, firewall, web, app) machine tuples —
+        so tier combinations repeat heavily instead of being an independent
+        cross-product; this is what makes IP-hop logs so compressible.
+    :param pod_probability: fraction of transactions dispatched to a pod;
+        the remainder picks tier machines independently (the long tail).
+    :param skew: Zipf exponent for all popularity choices.
+    :param seed: RNG seed for the topology itself (templates, wiring).
+    """
+
+    clients: int = 20000
+    gateways: int = 8
+    firewalls: int = 4
+    web_servers: int = 48
+    app_servers: int = 64
+    services: int = 160
+    databases: int = 6
+    chain_templates: int = 32
+    chain_length: Tuple[int, int] = (6, 12)
+    pods: int = 24
+    pod_probability: float = 0.85
+    skew: float = 1.2
+    seed: int = 0
+    _templates: List[Tuple[int, ...]] = field(init=False, repr=False, default_factory=list)
+    _pods: List[Tuple[int, ...]] = field(init=False, repr=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "clients", "gateways", "firewalls", "web_servers",
+            "app_servers", "services", "databases", "chain_templates",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        lo, hi = self.chain_length
+        if not 1 <= lo <= hi:
+            raise ValueError("chain_length must be an increasing positive pair")
+        if hi > self.services:
+            raise ValueError("chain_length cannot exceed the service pool")
+        if self.pods < 1:
+            raise ValueError("pods must be >= 1")
+        if not 0.0 <= self.pod_probability <= 1.0:
+            raise ValueError("pod_probability must be in [0, 1]")
+        self._build_templates()
+        self._build_pods()
+
+    # -- id layout (dense, tier-segregated) -------------------------------------
+
+    @property
+    def _offsets(self):
+        client0 = 0
+        gateway0 = client0 + self.clients
+        firewall0 = gateway0 + self.gateways
+        web0 = firewall0 + self.firewalls
+        app0 = web0 + self.web_servers
+        service0 = app0 + self.app_servers
+        db0 = service0 + self.services
+        return client0, gateway0, firewall0, web0, app0, service0, db0
+
+    @property
+    def vertex_count(self) -> int:
+        """Total machines across all tiers."""
+        return (
+            self.clients + self.gateways + self.firewalls + self.web_servers
+            + self.app_servers + self.services + self.databases
+        )
+
+    def _build_templates(self) -> None:
+        rng = random.Random(self.seed)
+        _, _, _, _, _, service0, _ = self._offsets
+        lo, hi = self.chain_length
+        templates: List[Tuple[int, ...]] = []
+        pool = list(range(service0, service0 + self.services))
+        for _ in range(self.chain_templates):
+            length = rng.randint(lo, hi)
+            templates.append(tuple(rng.sample(pool, length)))
+        self._templates = templates
+
+    def _build_pods(self) -> None:
+        rng = random.Random(self.seed + 7)
+        _, gateway0, firewall0, web0, app0, _, _ = self._offsets
+        pods: List[Tuple[int, ...]] = []
+        for _ in range(self.pods):
+            pods.append(
+                (
+                    gateway0 + rng.randrange(self.gateways),
+                    firewall0 + rng.randrange(self.firewalls),
+                    web0 + rng.randrange(self.web_servers),
+                    app0 + rng.randrange(self.app_servers),
+                )
+            )
+        self._pods = pods
+
+    @property
+    def templates(self) -> List[Tuple[int, ...]]:
+        """The service call-chain templates (popularity order)."""
+        return list(self._templates)
+
+    @property
+    def pod_routes(self) -> List[Tuple[int, ...]]:
+        """The pod tier tuples ``(gateway, firewall, web, app)``."""
+        return list(self._pods)
+
+    # -- path generation -------------------------------------------------------------
+
+    def transaction_path(self, rng: random.Random) -> Tuple[int, ...]:
+        """Sample one transaction path through the deployment.
+
+        Structure: client, 1–2 gateways, firewall, web server, app server,
+        a popular service chain, database — matching the Figure 1 flow with
+        the Table III length profile (mean ≈ 17, max ≈ 30 for the default
+        template lengths).
+        """
+        client0, gateway0, firewall0, web0, app0, _, db0 = self._offsets
+        # Clients are mildly Zipf-skewed: NAT gateways, corporate proxies and
+        # heavy buyers recur across many transactions.
+        path: List[int] = [client0 + zipf_choice(rng, self.clients, 1.05)]
+        if rng.random() < self.pod_probability:
+            # Pod dispatch: the whole middle tier is one popular fixed tuple.
+            pod = self._pods[zipf_choice(rng, len(self._pods), self.skew)]
+            path.extend(pod)
+        else:
+            # Long tail: independent per-tier choices, occasionally with a
+            # cross-region second gateway hop.
+            path.append(gateway0 + zipf_choice(rng, self.gateways, self.skew))
+            if rng.random() < 0.35 and self.gateways > 1:
+                second = gateway0 + zipf_choice(rng, self.gateways, self.skew)
+                if second != path[-1]:
+                    path.append(second)
+            path.append(firewall0 + zipf_choice(rng, self.firewalls, self.skew))
+            path.append(web0 + zipf_choice(rng, self.web_servers, self.skew))
+            path.append(app0 + zipf_choice(rng, self.app_servers, self.skew))
+        template = self._templates[zipf_choice(rng, len(self._templates), self.skew)]
+        path.extend(template)
+        path.append(db0 + zipf_choice(rng, self.databases, self.skew))
+        return tuple(path)
+
+    def generate_paths(self, count: int, seed: int = 0) -> List[Tuple[int, ...]]:
+        """Sample *count* transaction paths deterministically for *seed*."""
+        rng = random.Random(seed)
+        return [self.transaction_path(rng) for _ in range(count)]

@@ -1,0 +1,129 @@
+"""Noisy GPS trajectories and grid snapping (the Section VI-A *new id* step).
+
+Raw taxi traces are sequences of ``(longitude, latitude)`` fixes.  The paper
+cannot treat distinct coordinate pairs as vertices ("it is abnormal for taxi
+drivers in the same city to never drive on the same road"), so it "increases
+spatial granularity by dividing the space into grids ... and merges nodes in
+the same grid into one".  This module provides both halves:
+
+* :class:`TrajectoryRecorder` — turns a clean road route into a plausible
+  raw GPS point stream: several fixes per cell (slow traffic → adjacent
+  duplicates after snapping), jitter (off-route fixes), and occasional
+  backtracking (loops).
+* :func:`snap_to_grid` — quantizes coordinate streams to grid-cell ids.
+
+The output deliberately violates simplicity so the preprocessing pipeline
+(:mod:`repro.paths.preprocess`) has real work to do; the integration tests
+assert the full raw-GPS → simple-paths → compression chain is lossless.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.graphs.road import RoadNetwork
+
+Point = Tuple[float, float]
+
+
+def snap_to_grid(
+    points: Iterable[Point],
+    cell_size: float,
+    width: int,
+) -> List[int]:
+    """Quantize ``(x, y)`` fixes to dense grid-cell vertex ids.
+
+    :param cell_size: edge length of a grid cell in coordinate units.
+    :param width: number of cells per row (fixes the id layout
+        ``id = row * width + col``).
+    """
+    if cell_size <= 0:
+        raise ValueError("cell_size must be positive")
+    ids: List[int] = []
+    for x, y in points:
+        col = max(0, min(width - 1, int(x / cell_size)))
+        row = max(0, int(y / cell_size))
+        ids.append(row * width + col)
+    return ids
+
+
+class TrajectoryRecorder:
+    """Simulates a GPS recorder driving a route over a road network.
+
+    :param network: the road grid the routes come from.
+    :param fixes_per_cell: ``(min, max)`` GPS fixes emitted per visited cell.
+    :param jitter: standard deviation of positional noise, in cell units.
+    :param backtrack_probability: chance per cell of re-emitting the previous
+        cell's position (creates loops for the cycle-cutting step).
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        fixes_per_cell: Tuple[int, int] = (1, 3),
+        jitter: float = 0.15,
+        backtrack_probability: float = 0.02,
+    ) -> None:
+        lo, hi = fixes_per_cell
+        if not 1 <= lo <= hi:
+            raise ValueError("fixes_per_cell must be an increasing positive pair")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if not 0 <= backtrack_probability <= 1:
+            raise ValueError("backtrack_probability must be in [0, 1]")
+        self.network = network
+        self.fixes_per_cell = fixes_per_cell
+        self.jitter = jitter
+        self.backtrack_probability = backtrack_probability
+
+    def record(self, route: Sequence[int], rng: random.Random) -> List[Point]:
+        """Emit a raw GPS point stream for a route of cell-vertex ids.
+
+        Points are in coordinate units where one cell is 1.0 wide; the cell
+        centre of ``(row, col)`` is ``(col + 0.5, row + 0.5)``.
+        """
+        lo, hi = self.fixes_per_cell
+        points: List[Point] = []
+        previous_centre: Point = (0.0, 0.0)
+        for index, vertex in enumerate(route):
+            row, col = self.network.cell_of(vertex)
+            centre = (col + 0.5, row + 0.5)
+            fixes = rng.randint(lo, hi)
+            for fix in range(fixes):
+                points.append(
+                    (
+                        centre[0] + rng.gauss(0.0, self.jitter),
+                        centre[1] + rng.gauss(0.0, self.jitter),
+                    )
+                )
+                if (
+                    index > 0
+                    and fix == 0
+                    and rng.random() < self.backtrack_probability
+                ):
+                    # A stray fix back where we just were, sandwiched between
+                    # current-cell fixes: a genuine loop after snapping.
+                    points.append(previous_centre)
+            previous_centre = centre
+        return points
+
+    def record_dataset(
+        self,
+        trip_count: int,
+        seed: int = 0,
+        detour_probability: float = 0.15,
+    ) -> List[List[int]]:
+        """Record *trip_count* trips and snap them back to cell-id walks.
+
+        The returned walks are *raw*: adjacent duplicates, loops and trivial
+        fragments included.  Feed them to
+        :func:`repro.paths.preprocess.preprocess_paths`.
+        """
+        rng = random.Random(seed)
+        walks: List[List[int]] = []
+        for _ in range(trip_count):
+            route = self.network.sample_trip(rng, detour_probability)
+            points = self.record(route, rng)
+            walks.append(snap_to_grid(points, 1.0, self.network.width))
+        return walks

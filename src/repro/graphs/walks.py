@@ -1,0 +1,71 @@
+"""Generic walk generation utilities shared by the workload generators."""
+
+from __future__ import annotations
+
+import bisect
+import random
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+
+@lru_cache(maxsize=128)
+def _zipf_cdf(count: int, exponent: float) -> Tuple[float, ...]:
+    """Cumulative weights for ``P(i) ∝ (i+1)^-exponent`` over ``[0, count)``."""
+    weights = [(i + 1) ** -exponent for i in range(count)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    cumulative[-1] = 1.0  # guard against float drift
+    return tuple(cumulative)
+
+
+def zipf_choice(rng: random.Random, count: int, exponent: float = 1.1) -> int:
+    """Pick an index in ``[0, count)`` with Zipf popularity skew.
+
+    Index 0 is the most popular.  Inverse-CDF sampling over cached harmonic
+    weights; ``exponent`` controls the skew (≈ 1.0–1.3 matches the routing /
+    route-popularity skew real systems show).
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if count == 1:
+        return 0
+    return bisect.bisect_left(_zipf_cdf(count, exponent), rng.random())
+
+
+def random_simple_walks(
+    adjacency: Dict[int, Sequence[int]],
+    count: int,
+    max_length: int,
+    seed: int = 0,
+) -> List[Tuple[int, ...]]:
+    """Generate *count* simple walks over an adjacency map.
+
+    Each walk starts at a uniformly random vertex and keeps stepping to an
+    unvisited out-neighbour until none remains or *max_length* is reached.
+    Useful for adversarial/unstructured workloads where no subpath should be
+    systematically frequent.
+    """
+    if max_length < 1:
+        raise ValueError("max_length must be >= 1")
+    rng = random.Random(seed)
+    vertices = sorted(adjacency)
+    if not vertices:
+        return []
+    walks: List[Tuple[int, ...]] = []
+    for _ in range(count):
+        current = rng.choice(vertices)
+        walk = [current]
+        visited = {current}
+        while len(walk) < max_length:
+            options = [v for v in adjacency.get(current, ()) if v not in visited]
+            if not options:
+                break
+            current = rng.choice(options)
+            walk.append(current)
+            visited.add(current)
+        walks.append(tuple(walk))
+    return walks

@@ -1,0 +1,163 @@
+"""In-memory path datasets and their statistics.
+
+A :class:`PathDataset` is the unit every compressor consumes: an ordered
+collection of simple paths over a shared vertex-id universe.  Its
+:class:`DatasetStats` mirror the columns of Table III in the paper
+(path number, node number, id number, maximum length, average length).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """The Table III statistics of a path dataset.
+
+    * ``path_number`` — number of paths.
+    * ``node_number`` — total vertices summed over all paths (with
+      multiplicity), the paper's ``|P|`` in node units.
+    * ``id_number`` — number of distinct vertex ids.
+    * ``max_length`` / ``avg_length`` — path length extremes.
+    """
+
+    name: str
+    path_number: int
+    node_number: int
+    id_number: int
+    max_length: int
+    avg_length: float
+
+    def as_row(self) -> Tuple[str, int, int, int, int, float]:
+        """Return the stats as a Table III row tuple."""
+        return (
+            self.name,
+            self.path_number,
+            self.node_number,
+            self.id_number,
+            self.max_length,
+            round(self.avg_length, 2),
+        )
+
+
+class PathDataset:
+    """An ordered, indexable collection of integer paths.
+
+    Paths are stored as tuples of vertex ids.  The class is deliberately
+    lean — compressors iterate it, benchmarks sample it, preprocessors build
+    it — and it validates nothing beyond integer-ness at construction so that
+    the preprocessing pipeline (which *repairs* invalid inputs) can use it for
+    raw data too.
+
+    :param paths: iterable of vertex-id sequences.
+    :param name: label used in stats and benchmark reports.
+    """
+
+    def __init__(self, paths: Iterable[Sequence[int]], name: str = "dataset") -> None:
+        self.name = name
+        self._paths: List[Tuple[int, ...]] = [tuple(p) for p in paths]
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        return iter(self._paths)
+
+    def __getitem__(self, index: int) -> Tuple[int, ...]:
+        return self._paths[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathDataset):
+            return NotImplemented
+        return self._paths == other._paths
+
+    def __repr__(self) -> str:
+        return f"PathDataset(name={self.name!r}, paths={len(self._paths)})"
+
+    # -- derived data --------------------------------------------------------
+
+    @property
+    def paths(self) -> List[Tuple[int, ...]]:
+        """The underlying list of path tuples (do not mutate)."""
+        return self._paths
+
+    def node_count(self) -> int:
+        """Total number of vertices across all paths (with multiplicity)."""
+        return sum(len(p) for p in self._paths)
+
+    def vertex_ids(self) -> set:
+        """The set of distinct vertex ids appearing in the dataset."""
+        ids: set = set()
+        for p in self._paths:
+            ids.update(p)
+        return ids
+
+    def max_vertex_id(self) -> int:
+        """Largest vertex id present; ``-1`` for an empty dataset."""
+        best = -1
+        for p in self._paths:
+            if p:
+                m = max(p)
+                if m > best:
+                    best = m
+        return best
+
+    def stats(self) -> DatasetStats:
+        """Compute the Table III statistics for this dataset."""
+        n_paths = len(self._paths)
+        n_nodes = self.node_count()
+        lengths = [len(p) for p in self._paths]
+        return DatasetStats(
+            name=self.name,
+            path_number=n_paths,
+            node_number=n_nodes,
+            id_number=len(self.vertex_ids()),
+            max_length=max(lengths) if lengths else 0,
+            avg_length=(n_nodes / n_paths) if n_paths else 0.0,
+        )
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample_every(self, stride: int) -> "PathDataset":
+        """Return every ``stride``-th path (the paper's ``1 in every s``)."""
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        return PathDataset(self._paths[::stride], name=f"{self.name}/every{stride}")
+
+    def sample_fraction(self, fraction: float, seed: int = 0) -> "PathDataset":
+        """Return a uniform random sample of roughly ``fraction`` of paths.
+
+        Used by the Fig. 6c scalability experiment (tables built from 20%
+        to 100% of arriving paths).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if fraction == 1.0:
+            return self
+        rng = random.Random(seed)
+        count = max(1, round(fraction * len(self._paths)))
+        picked = rng.sample(range(len(self._paths)), count)
+        picked.sort()
+        return PathDataset(
+            (self._paths[i] for i in picked),
+            name=f"{self.name}/{fraction:.0%}",
+        )
+
+    def head(self, count: int) -> "PathDataset":
+        """Return the first *count* paths."""
+        return PathDataset(self._paths[:count], name=f"{self.name}/head{count}")
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def concat(cls, datasets: Sequence["PathDataset"], name: Optional[str] = None) -> "PathDataset":
+        """Concatenate several datasets into one."""
+        merged: List[Tuple[int, ...]] = []
+        for ds in datasets:
+            merged.extend(ds.paths)
+        return cls(merged, name=name or "+".join(ds.name for ds in datasets))

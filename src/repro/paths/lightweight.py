@@ -1,0 +1,174 @@
+"""The five lightweight compression families of the paper's survey (§II-B).
+
+The paper positions OFFS inside the lightweight-compression landscape of
+Damme et al.'s EDBT'17 survey: frame-of-reference (FOR), delta coding
+(DELTA), dictionary compression (DICT), run-length encoding (RLE) and null
+suppression (NS).  OFFS is the DICT representative; this module implements
+the other four over integer sequences, both
+
+* as honest codecs (exact byte streams, lossless round-trip), and
+* as comparison baselines — ``benchmarks/bench_lightweight_survey.py``
+  shows why none of them exploits the *cross-path* subpath redundancy that
+  dictionary compression captures (vertex ids along a path are neither
+  clustered (FOR), smooth (DELTA) nor repetitive (RLE)).
+
+All codecs share one shape: ``encode(values) -> bytes`` and
+``decode(blob) -> List[int]``, with null suppression (LEB128 varints, the
+NS family's byte-aligned member) as the backing byte layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.paths.encoding import VarintEncoding
+
+_VARINT = VarintEncoding()
+
+
+def _zigzag(value: int) -> int:
+    """Map a signed integer to unsigned (0,-1,1,-2 → 0,1,2,3)."""
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def _unzigzag(value: int) -> int:
+    """Inverse of :func:`_zigzag`."""
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+class NullSuppression:
+    """NS: drop leading zero bytes — here byte-aligned LEB128 varints.
+
+    The physical-level family; the other codecs layer on top of it.
+    """
+
+    name = "NS"
+
+    def encode(self, values: Sequence[int]) -> bytes:
+        return _VARINT.encode([len(values)]) + _VARINT.encode(values)
+
+    def decode(self, blob: bytes) -> List[int]:
+        decoded = _VARINT.decode(blob)
+        if not decoded:
+            raise ValueError("empty NS stream")
+        count, values = decoded[0], decoded[1:]
+        if len(values) != count:
+            raise ValueError(f"NS stream claims {count} values, has {len(values)}")
+        return values
+
+
+class FrameOfReference:
+    """FOR: store each value as an offset from the block minimum.
+
+    ``[header: count, reference] [offsets...]`` — wins when values cluster
+    in a narrow band (e.g. column stores with sorted runs).
+    """
+
+    name = "FOR"
+
+    def encode(self, values: Sequence[int]) -> bytes:
+        if not values:
+            return _VARINT.encode([0])
+        reference = min(values)
+        out = bytearray(_VARINT.encode([len(values), reference]))
+        out += _VARINT.encode([v - reference for v in values])
+        return bytes(out)
+
+    def decode(self, blob: bytes) -> List[int]:
+        decoded = _VARINT.decode(blob)
+        if not decoded:
+            raise ValueError("empty FOR stream")
+        count = decoded[0]
+        if count == 0:
+            return []
+        if len(decoded) != count + 2:
+            raise ValueError("FOR stream length mismatch")
+        reference = decoded[1]
+        return [reference + v for v in decoded[2:]]
+
+
+class DeltaCoding:
+    """DELTA: store each value as the (zig-zagged) difference from its
+    predecessor — wins on smooth/sorted sequences."""
+
+    name = "DELTA"
+
+    def encode(self, values: Sequence[int]) -> bytes:
+        out = bytearray(_VARINT.encode([len(values)]))
+        previous = 0
+        deltas = []
+        for v in values:
+            deltas.append(_zigzag(v - previous))
+            previous = v
+        out += _VARINT.encode(deltas)
+        return bytes(out)
+
+    def decode(self, blob: bytes) -> List[int]:
+        decoded = _VARINT.decode(blob)
+        if not decoded:
+            raise ValueError("empty DELTA stream")
+        count, deltas = decoded[0], decoded[1:]
+        if len(deltas) != count:
+            raise ValueError("DELTA stream length mismatch")
+        values: List[int] = []
+        current = 0
+        for d in deltas:
+            current += _unzigzag(d)
+            if current < 0:
+                raise ValueError("DELTA stream decodes to a negative id")
+            values.append(current)
+        return values
+
+
+class RunLengthEncoding:
+    """RLE: encode runs as (value, length) pairs — wins on long constant
+    runs, which simple paths by definition never contain."""
+
+    name = "RLE"
+
+    def encode(self, values: Sequence[int]) -> bytes:
+        pairs: List[int] = []
+        index = 0
+        n = len(values)
+        while index < n:
+            value = values[index]
+            run = 1
+            while index + run < n and values[index + run] == value:
+                run += 1
+            pairs.extend((value, run))
+            index += run
+        return _VARINT.encode([len(pairs) // 2]) + _VARINT.encode(pairs)
+
+    def decode(self, blob: bytes) -> List[int]:
+        decoded = _VARINT.decode(blob)
+        if not decoded:
+            raise ValueError("empty RLE stream")
+        count, pairs = decoded[0], decoded[1:]
+        if len(pairs) != 2 * count:
+            raise ValueError("RLE stream length mismatch")
+        values: List[int] = []
+        for i in range(0, len(pairs), 2):
+            value, run = pairs[i], pairs[i + 1]
+            if run < 1:
+                raise ValueError("RLE run of non-positive length")
+            values.extend([value] * run)
+        return values
+
+
+#: The four non-DICT lightweight families, in the survey's order.
+LIGHTWEIGHT_CODECS = (
+    FrameOfReference(),
+    DeltaCoding(),
+    RunLengthEncoding(),
+    NullSuppression(),
+)
+
+
+def lightweight_sizes(values: Sequence[int]) -> dict:
+    """Encoded byte size of *values* under each lightweight family.
+
+    Used by the survey benchmark; raw 32-bit size is included for scale.
+    """
+    sizes = {codec.name: len(codec.encode(values)) for codec in LIGHTWEIGHT_CODECS}
+    sizes["raw32"] = 4 * len(values)
+    return sizes

@@ -1,0 +1,117 @@
+"""The path abstraction.
+
+A *path* in this library is a sequence of non-negative integer vertex ids,
+``{v_1, ..., v_l}``, following Section II-A of the paper.  A path is *simple*
+when all of its vertices are distinct.  Internally every algorithm operates on
+plain tuples of ints — tuples hash fast, compare fast and slice fast, which is
+exactly what dictionary compression needs.  The :class:`Path` class is a thin,
+immutable convenience wrapper for user-facing code; it behaves like a tuple
+and adds the paper's slicing vocabulary (``P[x:y]`` is the subpath from the
+``x``-th vertex up to, excluding, the ``y``-th vertex).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+Vertex = int
+PathLike = Sequence[int]
+
+
+def is_valid_path(vertices: Sequence[int]) -> bool:
+    """Return ``True`` when *vertices* is a well-formed path.
+
+    Well-formed means: every element is a non-negative integer.  (Edge
+    membership in an underlying graph is intentionally not checked — the
+    compressor consumes recorded paths, it does not own the graph.)
+    """
+    return all(isinstance(v, int) and not isinstance(v, bool) and v >= 0 for v in vertices)
+
+
+def is_simple(vertices: Sequence[int]) -> bool:
+    """Return ``True`` when no vertex repeats in *vertices*."""
+    return len(set(vertices)) == len(vertices)
+
+
+def subpath(vertices: Sequence[int], start: int, stop: int) -> Tuple[int, ...]:
+    """Return ``P[start:stop]`` as a tuple, per the paper's notation.
+
+    ``start`` is 0-based and ``stop`` is exclusive, exactly like Python
+    slicing; the function exists to make call sites read like the pseudocode.
+    """
+    if start < 0 or stop > len(vertices) or start > stop:
+        raise IndexError(f"subpath bounds [{start}:{stop}] out of range for length {len(vertices)}")
+    return tuple(vertices[start:stop])
+
+
+def subpaths_of_length(vertices: Sequence[int], length: int) -> Iterator[Tuple[int, ...]]:
+    """Yield every contiguous subpath of exactly *length* vertices."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    for start in range(len(vertices) - length + 1):
+        yield tuple(vertices[start : start + length])
+
+
+def common_prefix_length(a: Sequence[int], b: Sequence[int]) -> int:
+    """Return the number of leading vertices *a* and *b* share."""
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n
+
+
+class Path(tuple):
+    """An immutable path of vertex ids.
+
+    ``Path`` subclasses :class:`tuple`, so it is hashable, comparable and
+    sliceable.  Slicing returns a plain tuple (matching the paper's
+    ``P[x:y]`` subpath semantics); use :meth:`Path.of` to re-wrap.
+
+    >>> p = Path.of([1, 2, 3, 5, 8, 13])
+    >>> p[1:4]
+    (2, 3, 5)
+    >>> p[4]
+    8
+    >>> p.is_simple
+    True
+    """
+
+    __slots__ = ()
+
+    @classmethod
+    def of(cls, vertices: Iterable[int]) -> "Path":
+        """Build a :class:`Path` from any iterable of vertex ids."""
+        path = super().__new__(cls, tuple(vertices))
+        if not is_valid_path(path):
+            raise ValueError("paths must contain non-negative integer vertex ids")
+        return path
+
+    def __new__(cls, vertices: Iterable[int] = ()):  # noqa: D102 - tuple protocol
+        return cls.of(vertices)
+
+    @property
+    def is_simple(self) -> bool:
+        """``True`` when all vertices in the path are distinct."""
+        return is_simple(self)
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        """The list of directed edges the path traverses."""
+        return [(self[i], self[i + 1]) for i in range(len(self) - 1)]
+
+    def terminals(self) -> Tuple[int, int]:
+        """Return ``(source, destination)`` of the path.
+
+        Raises :class:`ValueError` for empty paths.
+        """
+        if not self:
+            raise ValueError("empty path has no terminals")
+        return self[0], self[-1]
+
+    def contains_vertex(self, vertex: int) -> bool:
+        """``True`` when *vertex* occurs anywhere in the path."""
+        return vertex in self
+
+    def __repr__(self) -> str:
+        return f"Path({list(self)!r})"

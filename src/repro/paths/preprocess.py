@@ -1,0 +1,181 @@
+"""The preprocessing pipeline of Section VI-A.
+
+Raw recorded walks (IP hop logs, grid-snapped trajectories) are rarely simple
+paths.  The paper prepares them in four steps, all implemented here:
+
+1. **New id** (:func:`assign_new_ids`) — map arbitrary hashable labels
+   (IP strings, grid cells) to dense integer ids starting at zero.
+2. **Noise** (:func:`drop_adjacent_duplicates`) — collapse runs of adjacent
+   duplicate vertices, keeping the first occurrence.
+3. **Cycle** (:func:`cut_cycles`) — when a vertex recurs, cut *before* the
+   first recurring node, producing shorter cycle-free pieces.
+4. **Prune** (:func:`prune_trivial`) — discard paths with at most 2 vertices.
+
+:func:`preprocess_paths` chains 2→3→4 (id assignment is separate since inputs
+may already be integers) and reports what was changed.  The guarantee, tested
+property-based, is that every output path is simple and has length ≥ 3.
+
+**Group set** (:func:`group_by_terminals`) organizes paths into sets by their
+terminal vertices, the grouping rule the paper gives as its example.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.paths.dataset import PathDataset
+
+MIN_USEFUL_LENGTH = 3  # the paper discards "paths of size no more than 2"
+
+
+def assign_new_ids(
+    raw_paths: Iterable[Sequence[Hashable]],
+) -> Tuple[List[List[int]], Dict[Hashable, int]]:
+    """Map arbitrary vertex labels to dense integer ids.
+
+    Returns the relabelled paths and the ``label -> id`` mapping.  Ids are
+    assigned in first-seen order, so the mapping is deterministic for a given
+    input order.
+    """
+    mapping: Dict[Hashable, int] = {}
+    result: List[List[int]] = []
+    for path in raw_paths:
+        relabelled = []
+        for label in path:
+            if label not in mapping:
+                mapping[label] = len(mapping)
+            relabelled.append(mapping[label])
+        result.append(relabelled)
+    return result, mapping
+
+
+def drop_adjacent_duplicates(path: Sequence[int]) -> List[int]:
+    """Collapse runs of adjacent duplicates, keeping the first of each run.
+
+    This is the paper's *noise* repair: GPS jitter and repeated log entries
+    record the same vertex several times in a row.
+    """
+    out: List[int] = []
+    for v in path:
+        if not out or out[-1] != v:
+            out.append(v)
+    return out
+
+
+def cut_cycles(path: Sequence[int]) -> List[List[int]]:
+    """Split a walk into simple pieces by cutting before recurring vertices.
+
+    Following the paper: "we solve the loop issue by cutting before the first
+    recurring node and generating two shorter paths".  Applied repeatedly, a
+    walk with several loops yields several simple pieces.  Each returned piece
+    is guaranteed simple.
+
+    >>> cut_cycles([1, 2, 3, 2, 4])
+    [[1, 2, 3], [2, 4]]
+    """
+    pieces: List[List[int]] = []
+    current: List[int] = []
+    seen: set = set()
+    for v in path:
+        if v in seen:
+            # Cut before the first recurring node: the recurring vertex
+            # starts a fresh piece.
+            pieces.append(current)
+            current = [v]
+            seen = {v}
+        else:
+            current.append(v)
+            seen.add(v)
+    if current:
+        pieces.append(current)
+    return pieces
+
+
+def prune_trivial(paths: Iterable[Sequence[int]], min_length: int = MIN_USEFUL_LENGTH) -> List[List[int]]:
+    """Drop paths shorter than *min_length* vertices (default 3)."""
+    return [list(p) for p in paths if len(p) >= min_length]
+
+
+@dataclass
+class PreprocessReport:
+    """What :func:`preprocess_paths` did to the raw input."""
+
+    input_paths: int = 0
+    output_paths: int = 0
+    duplicate_vertices_removed: int = 0
+    cycles_cut: int = 0
+    trivial_paths_dropped: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.input_paths} raw -> {self.output_paths} simple paths "
+            f"({self.duplicate_vertices_removed} noise vertices removed, "
+            f"{self.cycles_cut} cycle cuts, "
+            f"{self.trivial_paths_dropped} trivial paths dropped)"
+        )
+
+
+def preprocess_paths(
+    raw_paths: Iterable[Sequence[int]],
+    name: str = "dataset",
+    min_length: int = MIN_USEFUL_LENGTH,
+) -> Tuple[PathDataset, PreprocessReport]:
+    """Run the full Section VI-A repair pipeline on integer walks.
+
+    Chains noise removal, cycle cutting and trivial-path pruning; returns a
+    :class:`~repro.paths.dataset.PathDataset` of guaranteed-simple paths plus
+    a :class:`PreprocessReport` describing the repairs.
+    """
+    report = PreprocessReport()
+    cleaned: List[List[int]] = []
+    for raw in raw_paths:
+        report.input_paths += 1
+        deduped = drop_adjacent_duplicates(raw)
+        report.duplicate_vertices_removed += len(raw) - len(deduped)
+        pieces = cut_cycles(deduped)
+        report.cycles_cut += len(pieces) - 1
+        for piece in pieces:
+            if len(piece) >= min_length:
+                cleaned.append(piece)
+            else:
+                report.trivial_paths_dropped += 1
+    report.output_paths = len(cleaned)
+    return PathDataset(cleaned, name=name), report
+
+
+def group_by_terminals(dataset: PathDataset) -> Dict[Tuple[int, int], PathDataset]:
+    """Group paths into sets keyed by ``(source, destination)``.
+
+    This is the paper's *group set* step ("we classify them according to
+    their starting and ending vertices").  Empty paths are skipped.
+    """
+    groups: Dict[Tuple[int, int], List[Tuple[int, ...]]] = defaultdict(list)
+    for path in dataset:
+        if path:
+            groups[(path[0], path[-1])].append(path)
+    return {
+        key: PathDataset(paths, name=f"{dataset.name}/{key[0]}->{key[1]}")
+        for key, paths in groups.items()
+    }
+
+
+def group_by_passing_vertex(dataset: PathDataset, vertices: Iterable[int]) -> Dict[int, PathDataset]:
+    """Group paths by membership of *vertices of interest*.
+
+    A path appears in the group of every interesting vertex it passes
+    through; paths touching none are omitted.  The paper mentions this as the
+    alternative grouping rule ("passing vertices of interest").
+    """
+    interesting = set(vertices)
+    groups: Dict[int, List[Tuple[int, ...]]] = defaultdict(list)
+    for path in dataset:
+        for v in path:
+            if v in interesting:
+                groups[v].append(path)
+    return {
+        v: PathDataset(paths, name=f"{dataset.name}/via{v}") for v, paths in groups.items()
+    }

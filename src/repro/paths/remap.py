@@ -1,0 +1,100 @@
+"""Frequency-ordered vertex id remapping.
+
+The §VI-A "new id" step assigns dense ids in first-seen order.  For storage
+that is leaving bytes on the table: under variable-length integer coding,
+ids below 128 cost one byte, below 16384 two — so the *hottest* vertices
+should own the smallest ids.  :class:`FrequencyRemapper` learns that
+ordering from data, rewrites paths, and inverts losslessly.
+
+The effect compounds with OFFS: literals in compressed streams are
+exactly the cold vertices, but table subpaths and the hot early supernode
+ids dominate the byte budget, and the archive's varint form shrinks
+measurably (ablation A5 quantifies it).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.paths.dataset import PathDataset
+
+
+class FrequencyRemapper:
+    """A learned bijective vertex relabelling, hottest-first.
+
+    Usage::
+
+        remapper = FrequencyRemapper.fit(dataset)
+        remapped = remapper.transform(dataset)   # compress this
+        original = remapper.invert_path(remapper.apply_path(path))
+    """
+
+    def __init__(self, mapping: Dict[int, int]) -> None:
+        values = sorted(mapping.values())
+        if values != list(range(len(values))):
+            raise ValueError("remapping must be a bijection onto 0..n-1")
+        self._forward = dict(mapping)
+        self._backward = {new: old for old, new in mapping.items()}
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def fit(cls, dataset: Iterable[Sequence[int]]) -> "FrequencyRemapper":
+        """Learn the hottest-first relabelling from *dataset*.
+
+        Ties break on the original id, so fitting is deterministic.
+        """
+        counts: Counter = Counter()
+        for path in dataset:
+            counts.update(path)
+        ordered = sorted(counts.items(), key=lambda e: (-e[1], e[0]))
+        return cls({old: new for new, (old, _) in enumerate(ordered)})
+
+    # -- application -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._forward)
+
+    def apply_vertex(self, vertex: int) -> int:
+        """The new id of *vertex* (KeyError for unknown vertices)."""
+        return self._forward[vertex]
+
+    def invert_vertex(self, vertex: int) -> int:
+        """The original id behind a remapped *vertex*."""
+        return self._backward[vertex]
+
+    def apply_path(self, path: Sequence[int]) -> Tuple[int, ...]:
+        """Relabel one path."""
+        forward = self._forward
+        return tuple(forward[v] for v in path)
+
+    def invert_path(self, path: Sequence[int]) -> Tuple[int, ...]:
+        """Restore one relabelled path."""
+        backward = self._backward
+        return tuple(backward[v] for v in path)
+
+    def transform(self, dataset: PathDataset) -> PathDataset:
+        """Relabel a whole dataset (name gains a ``/remapped`` suffix)."""
+        return PathDataset(
+            (self.apply_path(p) for p in dataset),
+            name=f"{dataset.name}/remapped",
+        )
+
+    def restore(self, dataset: PathDataset) -> PathDataset:
+        """Invert :meth:`transform`."""
+        return PathDataset(
+            (self.invert_path(p) for p in dataset),
+            name=dataset.name.removesuffix("/remapped"),
+        )
+
+    # -- persistence --------------------------------------------------------------
+
+    def as_table(self) -> List[Tuple[int, int]]:
+        """``(old id, new id)`` pairs, new-id order (serializable)."""
+        return [(self._backward[new], new) for new in range(len(self._backward))]
+
+    @classmethod
+    def from_table(cls, table: Iterable[Tuple[int, int]]) -> "FrequencyRemapper":
+        """Rebuild from :meth:`as_table` output."""
+        return cls({old: new for old, new in table})

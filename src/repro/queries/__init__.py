@@ -1,0 +1,39 @@
+"""Retrieval queries over compressed path stores (the paper's Cases 1 & 2).
+
+* :mod:`repro.queries.index` — a supernode-aware inverted index from vertex
+  ids to the compressed paths containing them, built *without* decompressing
+  anything.
+* :mod:`repro.queries.retrieval` — the two operational queries from the
+  introduction: affected-node discovery around an anomalous server (Case 1)
+  and terminal-pair troubleshooting (Case 2).
+* :mod:`repro.queries.analytics` — statistics computed directly on the
+  compressed form (histograms, lengths, table usage), the minability that
+  byte-level generic compression loses.
+"""
+
+from repro.queries.analytics import (
+    compression_summary,
+    hot_subpaths,
+    path_lengths,
+    supernode_usage,
+    vertex_histogram,
+)
+from repro.queries.index import VertexIndex
+from repro.queries.pattern import ANY, GAP, PathPattern, PatternSearcher
+from repro.queries.retrieval import PathQueryEngine
+from repro.queries.subpath_search import SubpathSearcher
+
+__all__ = [
+    "VertexIndex",
+    "PathQueryEngine",
+    "SubpathSearcher",
+    "ANY",
+    "GAP",
+    "PathPattern",
+    "PatternSearcher",
+    "compression_summary",
+    "hot_subpaths",
+    "path_lengths",
+    "supernode_usage",
+    "vertex_histogram",
+]

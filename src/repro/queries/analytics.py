@@ -1,0 +1,113 @@
+"""Analytics directly on compressed data — the minability OFFS preserves.
+
+The paper's drawback (2) of Dlz4: "interpreting paths as byte arrays ...
+loses necessary information from raw data.  It becomes a hurdle for future
+data mining, if we cannot tell whether an encoded buffer is a simple path."
+An OFFS stream, by contrast, is still an integer sequence over an extended
+vertex alphabet, so per-archive statistics fall out of the *compressed*
+form without decompressing anything:
+
+* :func:`vertex_histogram` — exact vertex occurrence counts: literals count
+  directly, each supernode contributes its expansion's multiset (derived
+  once from the table) times its occurrence count.
+* :func:`path_lengths` — exact decompressed lengths, again from token
+  symbols plus table entry lengths.
+* :func:`supernode_usage` — which table entries earn their keep; feeds
+  table-maintenance decisions (e.g. retiring dead entries at refit time).
+* :func:`hot_subpaths` — the most-used table entries with their coverage:
+  a free frequent-subpath mining result as a by-product of compression.
+
+Everything here runs in ``O(compressed symbols + table)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.core.store import CompressedPathStore
+
+Subpath = Tuple[int, ...]
+
+
+def supernode_usage(store: CompressedPathStore) -> Dict[int, int]:
+    """Occurrence count of every supernode id across the archive's tokens."""
+    counts: Counter = Counter()
+    base = store.table.base_id
+    for token in store.tokens():
+        for symbol in token:
+            if symbol >= base:
+                counts[symbol] += 1
+    # Dead entries matter too: report them at zero.
+    for sid, _ in store.table:
+        counts.setdefault(sid, 0)
+    return dict(counts)
+
+
+def vertex_histogram(store: CompressedPathStore) -> Dict[int, int]:
+    """Exact per-vertex occurrence counts, computed on compressed tokens.
+
+    Matches what a scan of the decompressed archive would produce; the test
+    suite checks that equivalence brute-force.
+    """
+    base = store.table.base_id
+    member_counts: Dict[int, Counter] = {
+        sid: Counter(subpath) for sid, subpath in store.table
+    }
+    histogram: Counter = Counter()
+    for token in store.tokens():
+        for symbol in token:
+            if symbol >= base:
+                histogram.update(member_counts[symbol])
+            else:
+                histogram[symbol] += 1
+    return dict(histogram)
+
+
+def path_lengths(store: CompressedPathStore) -> List[int]:
+    """Decompressed length of every path, without decompressing any."""
+    base = store.table.base_id
+    entry_lengths = {sid: len(subpath) for sid, subpath in store.table}
+    lengths: List[int] = []
+    for token in store.tokens():
+        total = 0
+        for symbol in token:
+            total += entry_lengths[symbol] if symbol >= base else 1
+        lengths.append(total)
+    return lengths
+
+
+def hot_subpaths(store: CompressedPathStore, top: int = 10) -> List[Tuple[Subpath, int, int]]:
+    """The most-used table entries: ``(subpath, occurrences, vertices saved)``.
+
+    "Vertices saved" is ``occurrences × (len - 1)`` — each match replaced
+    ``len`` symbols by one.  This is the practical-frequency ranking the
+    table was built on, observed on the final archive.
+    """
+    if top < 1:
+        raise ValueError("top must be >= 1")
+    usage = supernode_usage(store)
+    rows = [
+        (store.table.expand(sid), count, count * (len(store.table.expand(sid)) - 1))
+        for sid, count in usage.items()
+    ]
+    rows.sort(key=lambda r: (-r[2], -r[1], r[0]))
+    return rows[:top]
+
+
+def compression_summary(store: CompressedPathStore) -> Dict[str, float]:
+    """One-call archive health report (all computed on compressed data)."""
+    lengths = path_lengths(store)
+    symbols = store.compressed_symbol_count()
+    nodes = sum(lengths)
+    usage = supernode_usage(store)
+    dead = sum(1 for count in usage.values() if count == 0)
+    return {
+        "paths": float(len(store)),
+        "nodes": float(nodes),
+        "compressed_symbols": float(symbols),
+        "symbol_ratio": (nodes / symbols) if symbols else 0.0,
+        "table_entries": float(len(store.table)),
+        "dead_table_entries": float(dead),
+        "byte_ratio": store.compression_ratio(),
+    }

@@ -1,0 +1,94 @@
+"""A supernode-aware inverted index over a compressed store.
+
+Case 1 of the paper ("retrieving all indexed IP paths containing the issue
+node") needs vertex → paths lookup.  Decompressing everything to build it
+would defeat the archive, so the index exploits the table structure instead:
+
+* each supernode's member set is derived once from the table;
+* each compressed token is scanned once — a vertex symbol indexes directly,
+  a supernode symbol indexes every vertex it expands to.
+
+The result is exact (no false positives/negatives) and construction touches
+only compressed data, ``O(symbols + table)``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Set
+
+from repro.core.store import CompressedPathStore
+
+
+class VertexIndex:
+    """Inverted index: vertex id → sorted list of path ids containing it.
+
+    :param store: the compressed store to index.  The index reflects the
+        store at construction time; call :meth:`refresh` after appends.
+    """
+
+    def __init__(self, store: CompressedPathStore) -> None:
+        self.store = store
+        self._postings: Dict[int, List[int]] = {}
+        self._indexed_paths = 0
+        self.refresh()
+
+    def refresh(self) -> None:
+        """(Re)build postings for any paths appended since the last build."""
+        table = self.store.table
+        base = table.base_id
+        members: Dict[int, FrozenSet[int]] = {
+            sid: frozenset(subpath) for sid, subpath in table
+        }
+        postings: Dict[int, Set[int]] = defaultdict(set)
+        # Keep existing postings; only new path ids need scanning.
+        for vertex, ids in self._postings.items():
+            postings[vertex].update(ids)
+        tokens = self.store.tokens()
+        for path_id in range(self._indexed_paths, len(tokens)):
+            for symbol in tokens[path_id]:
+                if symbol >= base:
+                    for vertex in members[symbol]:
+                        postings[vertex].add(path_id)
+                else:
+                    postings[symbol].add(path_id)
+        self._postings = {v: sorted(ids) for v, ids in postings.items()}
+        self._indexed_paths = len(tokens)
+
+    # -- lookups -----------------------------------------------------------------
+
+    def paths_containing(self, vertex: int) -> List[int]:
+        """Sorted path ids whose decompressed form contains *vertex*."""
+        return list(self._postings.get(vertex, ()))
+
+    def paths_containing_all(self, vertices) -> List[int]:
+        """Path ids containing **every** vertex in *vertices* (intersection)."""
+        result: Set[int] = set()
+        first = True
+        for vertex in vertices:
+            postings = set(self._postings.get(vertex, ()))
+            result = postings if first else result & postings
+            first = False
+            if not result and not first:
+                break
+        return sorted(result)
+
+    def paths_containing_any(self, vertices) -> List[int]:
+        """Path ids containing **at least one** vertex in *vertices* (union)."""
+        result: Set[int] = set()
+        for vertex in vertices:
+            result.update(self._postings.get(vertex, ()))
+        return sorted(result)
+
+    def vertex_count(self) -> int:
+        """Number of distinct vertices with at least one posting."""
+        return len(self._postings)
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._postings
+
+    def __repr__(self) -> str:
+        return (
+            f"VertexIndex(vertices={len(self._postings)}, "
+            f"paths={self._indexed_paths})"
+        )

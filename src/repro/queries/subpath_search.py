@@ -1,0 +1,104 @@
+"""Subpath search over compressed archives.
+
+Beyond the paper's vertex-level queries (Cases 1 and 2), operators ask
+*pattern* questions: "which transactions traversed firewall F then web
+server W then app server A, in that order, consecutively?"  That is a
+subpath-containment query, and the OFFS representation helps answer it
+without bulk decompression:
+
+1. **candidate pruning** — a path can only contain the query subpath if it
+   contains *every query vertex*; the supernode-aware
+   :class:`~repro.queries.index.VertexIndex` intersects postings without
+   decompressing anything.
+2. **compressed-form matching** — the query is matched against each
+   candidate's *token* by expanding symbols lazily left-to-right with
+   early exit, so a mismatch usually costs a handful of comparisons
+   instead of a full decompression.
+
+The result is exact; the test suite checks it against a brute-force scan.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.store import CompressedPathStore
+from repro.queries.index import VertexIndex
+
+Subpath = Tuple[int, ...]
+
+
+def _iter_expanded(token: Sequence[int], table) -> Iterator[int]:
+    """Lazily yield the decompressed vertices of a token."""
+    base = table.base_id
+    for symbol in token:
+        if symbol >= base:
+            yield from table.expand(symbol)
+        else:
+            yield symbol
+
+
+def token_contains_subpath(token: Sequence[int], table, query: Sequence[int]) -> bool:
+    """``True`` when the token's decompressed form contains *query*
+    contiguously.
+
+    Streams the expansion with a rolling window of ``len(query)`` vertices;
+    never materializes the full path.
+    """
+    q = tuple(query)
+    if not q:
+        return True
+    window: List[int] = []
+    first = q[0]
+    for vertex in _iter_expanded(token, table):
+        window.append(vertex)
+        if len(window) > len(q):
+            window.pop(0)
+        if len(window) == len(q) and window[0] == first and tuple(window) == q:
+            return True
+    return False
+
+
+class SubpathSearcher:
+    """Exact subpath-containment search over a compressed store.
+
+    :param store: the archive to search.
+    :param index: an existing vertex index (built on demand when omitted).
+    """
+
+    def __init__(
+        self,
+        store: CompressedPathStore,
+        index: Optional[VertexIndex] = None,
+    ) -> None:
+        self.store = store
+        self.index = index or VertexIndex(store)
+
+    def candidate_ids(self, query: Sequence[int]) -> List[int]:
+        """Path ids containing every vertex of *query* (superset of hits)."""
+        if not query:
+            return list(range(len(self.store)))
+        return self.index.paths_containing_all(tuple(query))
+
+    def search_ids(self, query: Sequence[int]) -> List[int]:
+        """Path ids whose decompressed form contains *query* contiguously."""
+        q = tuple(query)
+        if len(q) == 1:
+            return self.index.paths_containing(q[0])
+        table = self.store.table
+        return [
+            pid
+            for pid in self.candidate_ids(q)
+            if token_contains_subpath(self.store.token(pid), table, q)
+        ]
+
+    def search(self, query: Sequence[int]) -> List[Tuple[int, ...]]:
+        """The matching paths, decompressed (only the hits pay)."""
+        return self.store.retrieve_many(self.search_ids(query))
+
+    def count(self, query: Sequence[int]) -> int:
+        """Number of paths containing *query* (nothing decompressed)."""
+        return len(self.search_ids(query))
+
+    def __repr__(self) -> str:
+        return f"SubpathSearcher(store={self.store!r})"

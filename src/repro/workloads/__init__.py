@@ -1,0 +1,38 @@
+"""Workload generators calibrated to the paper's datasets (Table III).
+
+:mod:`repro.workloads.synthetic` builds the four dataset surrogates —
+``alibaba``, ``rome``, ``porto``, ``sanfrancisco`` — plus adversarial
+workloads used by the ablations; :mod:`repro.workloads.registry` exposes them
+by name with size presets so tests, examples and benchmarks all draw from the
+same source.
+"""
+
+from repro.workloads.registry import (
+    DATASET_NAMES,
+    SIZE_PRESETS,
+    make_dataset,
+    make_all_datasets,
+)
+from repro.workloads.synthetic import (
+    alibaba_cloud_workload,
+    collision_workload,
+    random_noise_workload,
+    rome_workload,
+    porto_workload,
+    sanfrancisco_workload,
+    web_navigation_workload,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "SIZE_PRESETS",
+    "make_dataset",
+    "make_all_datasets",
+    "alibaba_cloud_workload",
+    "collision_workload",
+    "random_noise_workload",
+    "rome_workload",
+    "porto_workload",
+    "sanfrancisco_workload",
+    "web_navigation_workload",
+]

@@ -1,0 +1,69 @@
+"""Named access to the dataset surrogates, with size presets.
+
+Tests, examples and benchmarks all obtain data through
+:func:`make_dataset` so a given ``(name, size, seed)`` triple means the same
+paths everywhere.  Generated datasets are memoized per triple — the figure
+benches sweep parameters over the *same* dataset many times and regeneration
+would dominate their runtime.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List
+
+from repro.paths.dataset import PathDataset
+from repro.workloads.synthetic import (
+    alibaba_cloud_workload,
+    collision_workload,
+    porto_workload,
+    random_noise_workload,
+    rome_workload,
+    sanfrancisco_workload,
+    web_navigation_workload,
+)
+
+#: The four Table III surrogates, in the paper's order.
+DATASET_NAMES = ("alibaba", "rome", "porto", "sanfrancisco")
+
+#: Path counts per size preset.  ``tiny`` keeps unit tests snappy; ``small``
+#: is the benchmark default; ``medium`` exercises scaling behaviour.
+SIZE_PRESETS: Dict[str, Dict[str, int]] = {
+    "tiny": {"alibaba": 400, "rome": 150, "porto": 250, "sanfrancisco": 300,
+             "collision": 200, "noise": 150, "web": 300},
+    "small": {"alibaba": 4000, "rome": 1200, "porto": 2000, "sanfrancisco": 2500,
+              "collision": 1000, "noise": 500, "web": 2500},
+    "medium": {"alibaba": 20000, "rome": 5000, "porto": 9000, "sanfrancisco": 12000,
+               "collision": 5000, "noise": 2000, "web": 12000},
+}
+
+_FACTORIES = {
+    "alibaba": alibaba_cloud_workload,
+    "rome": rome_workload,
+    "porto": porto_workload,
+    "sanfrancisco": sanfrancisco_workload,
+    "collision": collision_workload,
+    "noise": random_noise_workload,
+    "web": web_navigation_workload,
+}
+
+
+@lru_cache(maxsize=32)
+def make_dataset(name: str, size: str = "small", seed: int = 0) -> PathDataset:
+    """Build (or fetch from cache) the dataset *name* at *size*.
+
+    :param name: one of :data:`DATASET_NAMES`, ``"collision"`` or
+        ``"noise"``.
+    :param size: a :data:`SIZE_PRESETS` key.
+    :raises KeyError: on unknown name or size.
+    """
+    if name not in _FACTORIES:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(_FACTORIES)}")
+    if size not in SIZE_PRESETS:
+        raise KeyError(f"unknown size {size!r}; known: {sorted(SIZE_PRESETS)}")
+    return _FACTORIES[name](SIZE_PRESETS[size][name], seed=seed)
+
+
+def make_all_datasets(size: str = "small", seed: int = 0) -> List[PathDataset]:
+    """The four Table III surrogates at *size*, in the paper's order."""
+    return [make_dataset(name, size, seed) for name in DATASET_NAMES]

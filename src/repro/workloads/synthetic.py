@@ -1,0 +1,186 @@
+"""The four dataset surrogates and the adversarial ablation workloads.
+
+Each surrogate targets the corresponding Table III row's *shape* — average
+length, relative id-universe size, redundancy profile — scaled down in path
+count so pure-Python benchmarks finish in minutes (DESIGN.md §2 records the
+substitution).  All generators are deterministic in their seed.
+
+================  ==============  =============  ====================
+surrogate         paper avg len   paper max len  structure
+================  ==============  =============  ====================
+alibaba           17.20           30             tiered cloud transactions
+rome              67.12           503            long cross-town taxi trips
+porto             32.73           1355           mid-length trips, rare epics
+sanfrancisco      17.42           103            short trips, tiny id pool
+================  ==============  =============  ====================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.graphs.road import RoadNetwork
+from repro.graphs.topology import CloudTopology
+from repro.graphs.walks import zipf_choice
+from repro.paths.dataset import PathDataset
+from repro.paths.preprocess import cut_cycles
+
+
+def alibaba_cloud_workload(path_count: int = 2000, seed: int = 0) -> PathDataset:
+    """IP-hop transaction paths over a tiered cloud (the private dataset).
+
+    Mean length ≈ 17, maximum ≈ 30 (a rare retry re-runs part of the service
+    chain on distinct fallback machines, mirroring the long tail).  The
+    client pool scales with the path count to keep the paper's id density
+    (Table III: ≈ 400 paths per distinct id), so client prefixes repeat the
+    way NATed real traffic does.
+    """
+    topology = CloudTopology(
+        clients=max(200, path_count // 3), chain_length=(7, 13), seed=seed
+    )
+    rng = random.Random(seed + 1)
+    base = topology.generate_paths(path_count, seed=seed + 2)
+    paths: List[Tuple[int, ...]] = []
+    fallback0 = topology.vertex_count  # distinct fallback-service id range
+    for path in base:
+        if rng.random() < 0.05:
+            # A retried middle-tier call: the chain re-executes on fallback
+            # machines (fresh, deduplicated ids keep the path simple).
+            seen = set()
+            extra: List[int] = []
+            for v in path[4:-1]:
+                fid = fallback0 + (v % 200)
+                if fid not in seen:
+                    seen.add(fid)
+                    extra.append(fid)
+            path = path[:-1] + tuple(extra[: max(0, 30 - len(path))]) + (path[-1],)
+        paths.append(path)
+    return PathDataset(paths, name="alibaba")
+
+
+def _road_workload(
+    name: str,
+    path_count: int,
+    seed: int,
+    width: int,
+    height: int,
+    hotspots: int,
+    detour_probability: float,
+    epic_probability: float = 0.0,
+) -> PathDataset:
+    """Shared recipe for the taxi surrogates.
+
+    Trips are routed between Zipf-popular hotspots; *epic_probability* adds
+    rare multi-waypoint odysseys (Porto's 1355-cell maximum against a
+    33-cell average).  Detour legs can revisit cells, so cycle cutting is
+    applied exactly as the paper's preprocessing would.
+    """
+    network = RoadNetwork(width=width, height=height, hotspots=hotspots, seed=seed)
+    rng = random.Random(seed + 1)
+    paths: List[Tuple[int, ...]] = []
+    n = len(network.hotspots)
+    while len(paths) < path_count:
+        if epic_probability and rng.random() < epic_probability:
+            stops = rng.sample(range(n), min(n, rng.randint(4, 7)))
+            route: Tuple[int, ...] = network.route(
+                network.hotspots[stops[0]], network.hotspots[stops[1]]
+            )
+            for a, b in zip(stops[1:], stops[2:]):
+                route = route + network.route(network.hotspots[a], network.hotspots[b])[1:]
+        else:
+            route = network.sample_trip(rng, detour_probability)
+        for piece in cut_cycles(route):
+            if len(piece) >= 3 and len(paths) < path_count:
+                paths.append(tuple(piece))
+    return PathDataset(paths, name=name)
+
+
+def rome_workload(path_count: int = 1500, seed: int = 0) -> PathDataset:
+    """Long cross-town trips on a large grid (Rome: avg 67, max 503)."""
+    return _road_workload(
+        "rome", path_count, seed,
+        width=72, height=72, hotspots=20,
+        detour_probability=0.25, epic_probability=0.01,
+    )
+
+
+def porto_workload(path_count: int = 2500, seed: int = 0) -> PathDataset:
+    """Mid-length trips with rare epic outliers (Porto: avg 33, max 1355)."""
+    return _road_workload(
+        "porto", path_count, seed,
+        width=48, height=48, hotspots=36,
+        detour_probability=0.15, epic_probability=0.02,
+    )
+
+
+def sanfrancisco_workload(path_count: int = 2000, seed: int = 0) -> PathDataset:
+    """Short trips over a small id pool (San Francisco: avg 17, max 103)."""
+    return _road_workload(
+        "sanfrancisco", path_count, seed,
+        width=26, height=26, hotspots=30,
+        detour_probability=0.10, epic_probability=0.005,
+    )
+
+
+def collision_workload(path_count: int = 1000, seed: int = 0) -> PathDataset:
+    """The match-collision stress test behind Example 1 / ablation A2.
+
+    Every path is ``prefix ⊕ hot ⊕ suffix``: one globally hot subpath of
+    length 8 flanked by affixes drawn from small pools of recurring triples.
+    Under *gross* frequency, the hot subpath **and its ~27 contiguous
+    fragments** all score near the top (each occurs once per path), so a
+    capacity-bound GFS table fills with overlaps that the greedy matcher can
+    never use — exactly Table I.  Practical frequency zeroes the shadowed
+    fragments after one iteration and spends the capacity on the affix
+    triples instead.
+    """
+    rng = random.Random(seed)
+    hot = tuple(range(1000, 1008))
+    prefix_pool = [tuple(rng.sample(range(0, 300), 3)) for _ in range(12)]
+    suffix_pool = [tuple(rng.sample(range(400, 700), 3)) for _ in range(12)]
+    paths: List[Tuple[int, ...]] = []
+    for _ in range(path_count):
+        prefix = prefix_pool[zipf_choice(rng, len(prefix_pool), 1.2)]
+        suffix = suffix_pool[zipf_choice(rng, len(suffix_pool), 1.2)]
+        paths.append(prefix + hot + suffix)
+    return PathDataset(paths, name="collision")
+
+
+def web_navigation_workload(path_count: int = 2000, seed: int = 0) -> PathDataset:
+    """Navigation sessions over a scale-free site graph (§I's social/web
+    motivation).
+
+    Hub-heavy click streams: sessions funnel through high-degree vertices,
+    producing frequent hub-spine subpaths — a degree distribution unlike
+    the tiered-cloud and road-grid surrogates.
+    """
+    from repro.graphs.scalefree import navigation_sessions, preferential_attachment_graph
+    from repro.paths.preprocess import prune_trivial
+
+    graph = preferential_attachment_graph(
+        vertex_count=max(200, path_count // 4), edges_per_vertex=3, seed=seed
+    )
+    sessions = navigation_sessions(graph, int(path_count * 1.2), seed=seed + 1)
+    kept = prune_trivial(sessions)[:path_count]
+    return PathDataset(kept, name="web")
+
+
+def random_noise_workload(
+    path_count: int = 500,
+    vertex_count: int = 5000,
+    length: Tuple[int, int] = (5, 20),
+    seed: int = 0,
+) -> PathDataset:
+    """Incompressible control: uniformly random simple paths.
+
+    No subpath is systematically frequent, so every DICT method should
+    degrade toward CR ≈ 1 here — the sanity floor the test suite checks.
+    """
+    rng = random.Random(seed)
+    lo, hi = length
+    paths = []
+    for _ in range(path_count):
+        n = rng.randint(lo, hi)
+        paths.append(tuple(rng.sample(range(vertex_count), n)))
+    return PathDataset(paths, name="noise")

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite.
+
+Datasets are deliberately tiny — correctness tests should not wait on
+workload generation — and cached per session.  Anything timing-related lives
+in ``benchmarks/``, not here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import OFFSConfig
+from repro.core.offs import OFFSCodec
+from repro.paths.dataset import PathDataset
+from repro.workloads.registry import make_dataset
+
+
+@pytest.fixture()
+def simple_dataset() -> PathDataset:
+    """A small hand-written dataset with an obvious hot subpath.
+
+    Paths repeat (as real transaction logs do): OFFS only keeps candidates
+    whose *practical* frequency is at least 2, so a dataset of entirely
+    unique paths legitimately yields an empty table.
+    """
+    hot = [10, 11, 12, 13]
+    return PathDataset(
+        [
+            [1, *hot, 2],
+            [1, *hot, 2],
+            [1, *hot, 2],
+            [3, *hot, 4],
+            [3, *hot, 4],
+            [5, *hot, 6],
+            [1, *hot, 6],
+            [7, 8, 9],
+            [7, 8, 9],
+            [2, 7, 8, 9],
+        ],
+        name="simple",
+    )
+
+
+@pytest.fixture()
+def repeated_path_dataset() -> PathDataset:
+    """Many copies of one path — the fully compressible extreme."""
+    return PathDataset([[1, 2, 3, 4, 5, 6]] * 10, name="repeat")
+
+
+@pytest.fixture(scope="session")
+def tiny_alibaba() -> PathDataset:
+    """The alibaba surrogate at test scale (cached for the whole session)."""
+    return make_dataset("alibaba", "tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_sanfrancisco() -> PathDataset:
+    """The sanfrancisco surrogate at test scale."""
+    return make_dataset("sanfrancisco", "tiny")
+
+
+@pytest.fixture()
+def exhaustive_config() -> OFFSConfig:
+    """OFFS config for tiny data: no sampling, ample iterations."""
+    return OFFSConfig(iterations=4, sample_exponent=0)
+
+
+@pytest.fixture()
+def fitted_codec(tiny_alibaba, exhaustive_config) -> OFFSCodec:
+    """An OFFS codec already fitted on the tiny alibaba surrogate."""
+    return OFFSCodec(exhaustive_config).fit(tiny_alibaba)

@@ -1,0 +1,56 @@
+"""Unit tests for AFS — Apriori for Frequent Subpaths (Algorithm 3)."""
+
+from repro.baselines.afs import AFSCodec, afs_frequent_subpaths
+from repro.paths.dataset import PathDataset
+
+
+class TestMining:
+    def test_finds_frequent_subpaths_of_all_lengths(self):
+        paths = [(1, 2, 3, 4)] * 5 + [(7, 8)] * 2
+        mined = afs_frequent_subpaths(paths, max_length=4, threshold=8)
+        # (1,2): freq 5, gain 10 >= 8; (1,2,3): 5*3=15; (1,2,3,4): 20.
+        assert (1, 2) in mined and (1, 2, 3) in mined and (1, 2, 3, 4) in mined
+        # (7,8): gain 4 < 8.
+        assert (7, 8) not in mined
+
+    def test_counts_are_gross_frequencies(self):
+        paths = [(1, 2, 3, 4)] * 5
+        mined = afs_frequent_subpaths(paths, max_length=2, threshold=2)
+        assert mined[(2, 3)] == 5  # gross: counted even though OFFS would shadow it
+
+    def test_apriori_pruning_blocks_unsupported_extensions(self):
+        # (1,2) and (2,3) frequent, but (1,2,3) never occurs: the join
+        # creates it (graph edge exists via another path), CountGain kills it.
+        paths = [(1, 2)] * 5 + [(2, 3)] * 5 + [(9, 2, 3)] * 2
+        mined = afs_frequent_subpaths(paths, max_length=3, threshold=6)
+        assert (1, 2) in mined and (2, 3) in mined
+        assert (1, 2, 3) not in mined
+
+    def test_output_is_overlap_heavy(self):
+        """Criticism (3): every fragment of a frequent subpath is frequent."""
+        paths = [(1, 2, 3, 4, 5)] * 10
+        mined = afs_frequent_subpaths(paths, max_length=5, threshold=10)
+        lengths = sorted(len(sp) for sp in mined)
+        # All 4+3+2+1 fragments of lengths 2..5 are reported.
+        assert lengths == [2, 2, 2, 2, 3, 3, 3, 4, 4, 5]
+
+    def test_empty_input(self):
+        assert afs_frequent_subpaths([], max_length=4, threshold=1) == {}
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        ds = PathDataset([(1, 2, 3, 4)] * 6 + [(5, 6, 7)] * 4)
+        codec = AFSCodec(threshold=6).fit(ds)
+        for path in ds:
+            assert codec.decompress_path(codec.compress_path(path)) == path
+
+    def test_capacity_bound(self):
+        ds = PathDataset([(1, 2, 3, 4, 5, 6)] * 10)
+        codec = AFSCodec(threshold=2, capacity=3).fit(ds)
+        assert len(codec.table) <= 3
+
+    def test_compresses_dominant_pattern(self):
+        ds = PathDataset([(1, 2, 3, 4)] * 10)
+        codec = AFSCodec(threshold=4).fit(ds)
+        assert len(codec.compress_path((1, 2, 3, 4))) == 1

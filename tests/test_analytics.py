@@ -1,0 +1,99 @@
+"""Unit tests for compressed-data analytics, checked against brute force."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.config import OFFSConfig
+from repro.core.offs import OFFSCodec
+from repro.core.store import CompressedPathStore
+from repro.queries.analytics import (
+    compression_summary,
+    hot_subpaths,
+    path_lengths,
+    supernode_usage,
+    vertex_histogram,
+)
+from repro.workloads.registry import make_dataset
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = make_dataset("sanfrancisco", "tiny")
+    codec = OFFSCodec(OFFSConfig(iterations=3, sample_exponent=0))
+    store = CompressedPathStore.from_codec(dataset, codec)
+    return dataset, store
+
+
+class TestVertexHistogram:
+    def test_matches_brute_force(self, setup):
+        dataset, store = setup
+        brute = Counter()
+        for path in dataset:
+            brute.update(path)
+        assert vertex_histogram(store) == dict(brute)
+
+    def test_empty_store(self, setup):
+        _, store = setup
+        empty = CompressedPathStore(store.table)
+        assert vertex_histogram(empty) == {}
+
+
+class TestPathLengths:
+    def test_matches_brute_force(self, setup):
+        dataset, store = setup
+        assert path_lengths(store) == [len(p) for p in dataset]
+
+    def test_lengths_exceed_token_sizes_when_compressed(self, setup):
+        _, store = setup
+        lengths = path_lengths(store)
+        token_sizes = [len(t) for t in store.tokens()]
+        assert sum(lengths) > sum(token_sizes)
+
+
+class TestSupernodeUsage:
+    def test_counts_match_token_scan(self, setup):
+        _, store = setup
+        usage = supernode_usage(store)
+        base = store.table.base_id
+        brute = Counter()
+        for token in store.tokens():
+            for s in token:
+                if s >= base:
+                    brute[s] += 1
+        for sid, count in usage.items():
+            assert count == brute.get(sid, 0)
+
+    def test_reports_dead_entries_at_zero(self, setup):
+        _, store = setup
+        usage = supernode_usage(store)
+        assert len(usage) == len(store.table)
+
+
+class TestHotSubpaths:
+    def test_sorted_by_savings(self, setup):
+        _, store = setup
+        rows = hot_subpaths(store, top=5)
+        savings = [saved for _, _, saved in rows]
+        assert savings == sorted(savings, reverse=True)
+
+    def test_savings_arithmetic(self, setup):
+        _, store = setup
+        for subpath, uses, saved in hot_subpaths(store, top=3):
+            assert saved == uses * (len(subpath) - 1)
+
+    def test_top_validated(self, setup):
+        _, store = setup
+        with pytest.raises(ValueError):
+            hot_subpaths(store, top=0)
+
+
+class TestSummary:
+    def test_consistent_with_store(self, setup):
+        dataset, store = setup
+        summary = compression_summary(store)
+        assert summary["paths"] == len(dataset)
+        assert summary["nodes"] == sum(len(p) for p in dataset)
+        assert summary["compressed_symbols"] == store.compressed_symbol_count()
+        assert summary["byte_ratio"] == pytest.approx(store.compression_ratio())
+        assert summary["symbol_ratio"] > 1.0

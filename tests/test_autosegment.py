@@ -1,0 +1,102 @@
+"""Unit tests for the auto-segmenting stream (drift → rotate, closed loop)."""
+
+import random
+
+import pytest
+
+from repro.core.config import OFFSConfig
+from repro.core.stream import AutoSegmentingStream
+
+CFG = OFFSConfig(iterations=3, sample_exponent=0)
+
+
+def hot_epoch(prefix: int, count: int):
+    """Highly compressible traffic over one machine set."""
+    hot = tuple(prefix + i for i in range(7))
+    return [(9,) + hot + (8,)] * count
+
+
+def make_stream(**kwargs) -> AutoSegmentingStream:
+    defaults = dict(
+        config=CFG, base_id=1 << 20, warmup=100, window=80,
+        refit_ratio=0.6, min_segment_paths=150,
+    )
+    defaults.update(kwargs)
+    return AutoSegmentingStream(**defaults)
+
+
+class TestWarmup:
+    def test_first_segment_trains_at_warmup(self):
+        stream = make_stream()
+        ids = stream.feed_many(hot_epoch(1000, 100))
+        assert stream.archive.segment_count == 1
+        assert ids[-1] == 99  # warm-up flush assigned dense global ids
+        assert stream.retrieve(0) == (9,) + tuple(range(1000, 1007)) + (8,)
+
+    def test_no_segment_before_warmup(self):
+        stream = make_stream()
+        assert stream.feed((1, 2, 3)) is None
+        assert stream.archive.segment_count == 0
+        assert len(stream) == 1
+
+
+class TestStationaryTraffic:
+    def test_never_rotates_on_stationary_stream(self):
+        stream = make_stream()
+        stream.feed_many(hot_epoch(1000, 900))
+        assert stream.rotations == 0
+        assert stream.archive.segment_count == 1
+
+
+class TestDriftRotation:
+    def _drifted_stream(self):
+        stream = make_stream()
+        stream.feed_many(hot_epoch(1000, 300))
+        # Regime change: incompressible traffic the table cannot match.
+        rng = random.Random(0)
+        noise = [tuple(rng.sample(range(5000, 20000), 9)) for _ in range(400)]
+        stream.feed_many(noise)
+        return stream, noise
+
+    def test_rotates_on_drift(self):
+        stream, _ = self._drifted_stream()
+        assert stream.rotations >= 1
+        assert stream.archive.segment_count >= 2
+
+    def test_all_paths_retrievable_across_rotation(self):
+        stream, noise = self._drifted_stream()
+        assert stream.retrieve(0) == (9,) + tuple(range(1000, 1007)) + (8,)
+        assert stream.retrieve(len(stream) - 1) == noise[-1]
+
+    def test_rotation_respects_min_segment_age(self):
+        stream = make_stream(min_segment_paths=10_000)
+        stream.feed_many(hot_epoch(1000, 300))
+        rng = random.Random(0)
+        stream.feed_many(
+            tuple(rng.sample(range(5000, 20000), 9)) for _ in range(400)
+        )
+        assert stream.rotations == 0
+
+    def test_second_epoch_compresses_after_rotation(self):
+        """After rotating onto epoch-2 training, epoch-2 traffic contracts."""
+        stream = make_stream()
+        stream.feed_many(hot_epoch(1000, 300))
+        stream.feed_many(hot_epoch(400_000, 400))  # drifted but regular
+        if stream.rotations:
+            last_segment = stream.archive.segments()[-1]
+            last_token = last_segment.token(len(last_segment) - 1)
+            assert len(last_token) < 9  # the new table matches epoch 2
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            make_stream(warmup=0)
+        with pytest.raises(ValueError):
+            make_stream(refit_ratio=0.0)
+        with pytest.raises(ValueError):
+            make_stream(window=0)
+
+    def test_repr(self):
+        stream = make_stream()
+        assert "AutoSegmentingStream" in repr(stream)

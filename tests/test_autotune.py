@@ -1,0 +1,90 @@
+"""Unit tests for the (i, k) auto-tuner."""
+
+import pytest
+
+from repro.core.autotune import TuningPoint, autotune, choose, sweep
+from repro.core.config import OFFSConfig
+from repro.workloads.registry import make_dataset
+
+
+def point(i, k, cr, cs):
+    return TuningPoint(i, k, cr, cs)
+
+
+class TestChoose:
+    def test_default_is_fastest_near_best_cr(self):
+        points = [
+            point(4, 0, 3.0, 1.0),
+            point(4, 2, 2.95, 3.0),   # within 5% of best, much faster
+            point(1, 4, 2.0, 9.0),
+        ]
+        default, _ = choose(points, cr_tolerance=0.05)
+        assert (default.iterations, default.sample_exponent) == (4, 2)
+
+    def test_fast_mode_bounded_cr_loss(self):
+        points = [
+            point(4, 2, 3.0, 3.0),
+            point(2, 2, 2.8, 6.0),    # -0.2 CR, 2x speed: valid fast pick
+            point(1, 4, 1.5, 12.0),   # too lossy
+        ]
+        default, fast = choose(points, cr_tolerance=0.01, fast_cr_loss=0.35)
+        assert (fast.iterations, fast.sample_exponent) == (2, 2)
+
+    def test_fast_can_equal_default(self):
+        points = [point(4, 2, 3.0, 5.0)]
+        default, fast = choose(points)
+        assert default == fast
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            choose([])
+
+
+class TestSweep:
+    def test_grid_coverage(self):
+        dataset = make_dataset("sanfrancisco", "tiny")
+        points = sweep(dataset, i_values=(1, 3), k_values=(0, 1), pilot_paths=150)
+        assert len(points) == 4
+        assert {(p.iterations, p.sample_exponent) for p in points} == {
+            (1, 0), (1, 1), (3, 0), (3, 1)
+        }
+
+    def test_more_iterations_do_not_hurt_cr_much(self):
+        dataset = make_dataset("sanfrancisco", "tiny")
+        points = sweep(dataset, i_values=(1, 4), k_values=(0,), pilot_paths=150)
+        by_i = {p.iterations: p for p in points}
+        assert by_i[4].compression_ratio >= by_i[1].compression_ratio * 0.9
+
+
+class TestAutotune:
+    def test_end_to_end(self):
+        dataset = make_dataset("sanfrancisco", "tiny")
+        result = autotune(dataset, pilot_paths=150, seed=1)
+        assert result.pilot_paths == 150
+        assert result.default_mode in result.points
+        assert result.fast_mode in result.points
+        # The fast mode never compresses better AND slower than default.
+        assert result.fast_mode.compression_speed_mbps >= \
+            result.default_mode.compression_speed_mbps
+
+    def test_configs_materialize(self):
+        dataset = make_dataset("sanfrancisco", "tiny")
+        result = autotune(dataset, pilot_paths=100)
+        cfg = result.default_config(OFFSConfig(delta=8))
+        assert cfg.iterations == result.default_mode.iterations
+        assert cfg.sample_exponent == result.default_mode.sample_exponent
+        fast_cfg = result.fast_config()
+        assert fast_cfg.iterations == result.fast_mode.iterations
+
+    def test_tuned_codec_works(self):
+        from repro.core.offs import OFFSCodec
+
+        dataset = make_dataset("sanfrancisco", "tiny")
+        result = autotune(dataset, pilot_paths=100)
+        codec = OFFSCodec(result.default_config()).fit(dataset)
+        for path in list(dataset)[:20]:
+            assert codec.decompress_path(codec.compress_path(path)) == path
+
+    def test_point_rows(self):
+        p = point(4, 2, 3.14159, 1.23456)
+        assert p.as_row() == (4, 2, 3.142, 1.235)

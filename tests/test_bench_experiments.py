@@ -1,0 +1,88 @@
+"""Smoke tests for the experiment harness at test scale.
+
+Full-shape assertions live in ``benchmarks/``; these tests verify the
+experiment functions run, return well-formed tables and self-consistent
+shapes at the ``tiny``/``small`` presets, so a broken bench is caught by
+``pytest tests/`` without the benchmark run.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    exp_ablation_matchers,
+    exp_ablation_measure,
+    exp_fig4_iterations,
+    exp_fig4_sampling,
+    exp_fig5_comparison,
+    exp_fig6_decompression,
+    exp_fig6_partial,
+    exp_fig6_scalability,
+    exp_table3,
+)
+from repro.bench.harness import BenchConfig, default_codecs, offs_pair
+
+TINY = BenchConfig(size="tiny", sample_exponent=0)
+SMALL = BenchConfig(size="small", sample_exponent=2)
+
+
+class TestHarness:
+    def test_offs_pair_names(self):
+        default, fast = offs_pair(TINY)
+        assert default.name == "OFFS" and fast.name == "OFFS*"
+        assert fast.config.iterations < default.config.iterations
+
+    def test_default_roster(self):
+        names = [c.name for c in default_codecs(TINY)]
+        assert names == ["OFFS", "OFFS*", "Dlz4", "RSS", "GFS"]
+
+    def test_config_overrides(self):
+        cfg = TINY.offs_config(delta=6, alpha=3)
+        assert cfg.delta == 6 and cfg.sample_exponent == 0
+
+
+class TestExperimentsRun:
+    def test_table3(self):
+        rows, shape = exp_table3(TINY)
+        assert rows[0][0] == "Dataset"
+        assert len(rows) == 5
+        assert shape["rome_longest_avg"] == 1.0
+
+    def test_fig4_iterations(self):
+        rows, shape = exp_fig4_iterations("sanfrancisco", i_values=(0, 2, 4), config=TINY)
+        assert len(rows) == 4
+        assert shape["cr_rise_to_knee"] > 0  # CR improves with iterations
+
+    def test_fig4_sampling(self):
+        rows, shape = exp_fig4_sampling("sanfrancisco", k_values=(0, 1, 2), config=TINY)
+        assert len(rows) == 4
+        assert shape["cr_at_default"] > 1.0
+
+    def test_fig5(self):
+        rows, shape = exp_fig5_comparison(("sanfrancisco",), config=TINY)
+        assert len(rows) == 6  # header + 5 codecs
+        assert shape["offs_cr_avg"] > 1.0
+
+    def test_fig6_decompression(self):
+        rows, shape = exp_fig6_decompression(("sanfrancisco",), config=TINY)
+        assert shape["offs_ds_avg"] > 0
+        assert 0 <= shape["dict_ds_spread"] < 1
+
+    def test_fig6_partial(self):
+        rows, shape = exp_fig6_partial("sanfrancisco", fractions=(0.1, 1.0), config=TINY)
+        assert shape["pds_min"] > 0
+
+    def test_fig6_scalability(self):
+        rows, shape = exp_fig6_scalability(
+            "sanfrancisco", fractions=(0.5, 1.0), config=TINY
+        )
+        assert len(rows) == 3
+        # Tables from larger samples should not be dramatically worse.
+        assert shape["relative_loss_at_20pct"] < 0.5
+
+    def test_ablation_matchers_identical_results(self):
+        rows, shape = exp_ablation_matchers("sanfrancisco", config=TINY)
+        assert shape["results_identical"] == 1.0
+
+    def test_ablation_measure_offs_beats_gfs(self):
+        rows, shape = exp_ablation_measure(config=SMALL)
+        assert shape["offs_over_gfs"] > 1.5

@@ -1,0 +1,56 @@
+"""Unit tests for the standalone experiment runner."""
+
+import pytest
+
+from repro.bench.runner import EXPERIMENTS, main, run_experiments
+from repro.bench.harness import BenchConfig
+
+
+TINY = BenchConfig(size="tiny", sample_exponent=0)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_present(self):
+        names = set(EXPERIMENTS)
+        assert "table3" in names
+        assert "fig5_comparison" in names
+        for prefix in ("fig4_iterations_", "fig4_sampling_"):
+            assert sum(1 for n in names if n.startswith(prefix)) == 4
+        for fig6 in ("fig6_decompression", "fig6_partial", "fig6_scalability"):
+            assert fig6 in names
+        assert {"ablation_matchers", "ablation_measure", "ablation_params"} <= names
+
+
+class TestRunExperiments:
+    def test_filtered_run(self):
+        sections = run_experiments(TINY, only=["table3"])
+        assert len(sections) == 1
+        assert "== table3 ==" in sections[0]
+        assert "shape:" in sections[0]
+
+    def test_chart_rendered_for_figures(self):
+        sections = run_experiments(TINY, only=["fig6_scalability"])
+        assert "* CR" in sections[0]  # the ASCII chart legend
+
+    def test_prefix_filter(self):
+        sections = run_experiments(TINY, only=["ablation_me"])
+        assert len(sections) == 1
+        assert "ablation_measure" in sections[0]
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+
+    def test_no_match_fails(self, capsys):
+        assert main(["--only", "nonexistent"]) == 1
+        assert "no experiments matched" in capsys.readouterr().err
+
+    def test_run_and_write_report(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        code = main(["--size", "tiny", "--only", "table3", "--out", str(out_file)])
+        assert code == 0
+        assert "== table3 ==" in out_file.read_text()
+        assert "== table3 ==" in capsys.readouterr().out

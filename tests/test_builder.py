@@ -1,0 +1,203 @@
+"""Unit tests for TConstruct* (Algorithm 5): merge, expansion, λ, finalize."""
+
+import pytest
+
+from repro.core.builder import TableBuilder, build_supernode_table
+from repro.core.config import OFFSConfig
+from repro.paths.dataset import PathDataset
+
+
+def exhaustive(**overrides) -> OFFSConfig:
+    base = dict(iterations=4, sample_exponent=0, capacity=10_000)
+    base.update(overrides)
+    return OFFSConfig(**base)
+
+
+class TestInitialization:
+    def test_all_edges_with_existence_weight(self):
+        builder = TableBuilder(exhaustive())
+        cands = builder.initialize([(1, 2, 3), (2, 3, 4)])
+        # Edges: (1,2), (2,3), (3,4) — (2,3) occurs twice but existence
+        # weight stays 1 ("the weight suggests existence", Example 2).
+        assert dict(cands.items()) == {(1, 2): 1, (2, 3): 1, (3, 4): 1}
+
+    def test_empty_paths(self):
+        builder = TableBuilder(exhaustive())
+        assert len(builder.initialize([])) == 0
+
+
+class TestIterationCaps:
+    def test_iteration_one_matches_only_pairs(self):
+        """Example 2: 'the maximum size of matched supernodes is two' at it 1."""
+        builder = TableBuilder(exhaustive())
+        paths = [(1, 2, 3, 4)] * 3
+        cands = builder.initialize(paths)
+        # Plant a longer candidate; iteration 1's cap of 2 must ignore it.
+        cands.add((1, 2, 3, 4), 1)
+        stats = builder.run_iteration(cands, paths, iteration=1, lam=10_000)
+        assert stats.cap == 2
+        # The long candidate was never matched, only generated-into at most;
+        # pair matches drove the counting.
+        assert cands.weight((1, 2)) >= 3
+
+    def test_cap_doubles_then_clamps_at_delta(self):
+        builder = TableBuilder(exhaustive(delta=8))
+        paths = [(1, 2, 3)]
+        cands = builder.initialize(paths)
+        caps = [
+            builder.run_iteration(cands, paths, iteration=it, lam=10_000).cap
+            for it in (1, 2, 3, 4, 5)
+        ]
+        assert caps == [2, 4, 8, 8, 8]
+
+
+class TestMergeAndExpansion:
+    def test_merge_concatenates_adjacent_matches(self):
+        builder = TableBuilder(exhaustive())
+        paths = [(1, 2, 3, 4)] * 2
+        cands = builder.initialize(paths)
+        builder.run_iteration(cands, paths, 1, 10_000)
+        # Matches (1,2) then (3,4) -> merge (1,2,3,4).
+        assert (1, 2, 3, 4) in cands
+
+    def test_expansion_adds_next_vertex(self):
+        builder = TableBuilder(exhaustive())
+        paths = [(1, 2, 3, 4)] * 2
+        cands = builder.initialize(paths)
+        builder.run_iteration(cands, paths, 1, 10_000)
+        # Expansion of pre=(1,2) with P[pos]=3 -> (1,2,3).
+        assert (1, 2, 3) in cands
+
+    def test_merge_truncated_to_delta(self):
+        builder = TableBuilder(exhaustive(delta=4, alpha=3))
+        # After iteration 2 matches (1,2,3,4) and (5,6,7,8) the merge must be
+        # truncated: (1,2,3,4) + nothing.  Nothing longer than 4 may appear.
+        paths = [(1, 2, 3, 4, 5, 6, 7, 8)] * 3
+        cands = builder.initialize(paths)
+        for it in (1, 2, 3):
+            builder.run_iteration(cands, paths, it, 10_000)
+        assert all(len(seq) <= 4 for seq, _ in cands.items())
+
+    def test_no_expansion_when_match_is_single_vertex(self):
+        builder = TableBuilder(exhaustive())
+        # Path (1,2,9): match (1,2), then 9 alone.  The merge produces
+        # (1,2,9); expansion must not double-add it.
+        paths = [(1, 2, 9)] * 2
+        cands = builder.initialize(paths)
+        builder.run_iteration(cands, paths, 1, 10_000)
+        # Generated once per path by merge only => weight 2, not 4.
+        assert cands.weight((1, 2, 9)) == 2
+
+
+class TestWeights:
+    def test_weights_reset_each_iteration(self):
+        """Table II: {v13,v21} shows 3 after both iterations, not 6.
+
+        A length-2 path cannot be shadowed by merges, so its edge must show
+        the same practical count after every iteration rather than
+        accumulating across them.
+        """
+        builder = TableBuilder(exhaustive())
+        paths = [(1, 2)] * 3
+        cands = builder.initialize(paths)
+        builder.run_iteration(cands, paths, 1, 10_000)
+        w1 = cands.weight((1, 2))
+        builder.run_iteration(cands, paths, 2, 10_000)
+        w2 = cands.weight((1, 2))
+        assert w1 == w2 == 3
+
+    def test_practical_not_gross_counting(self):
+        """A candidate covered by a longer match scores zero (§IV-A)."""
+        builder = TableBuilder(exhaustive())
+        paths = [(1, 2, 3, 4)] * 4
+        cands = builder.initialize(paths)
+        builder.run_iteration(cands, paths, 1, 10_000)  # creates (1,2,3,4)
+        builder.run_iteration(cands, paths, 2, 10_000)
+        # (1,2,3,4) now wins every match; the shadowed pair (2,3) gets no
+        # practical counts even though its gross frequency is 4.
+        assert cands.weight((1, 2, 3, 4)) == 4
+        assert cands.weight((2, 3)) == 0
+
+
+class TestFinalization:
+    def test_drops_weight_one_candidates(self):
+        builder = TableBuilder(exhaustive())
+        cands = builder.initialize([(1, 2, 3)])
+        cands.set_weight((1, 2), 5)
+        cands.set_weight((2, 3), 1)
+        table, dropped = builder.finalize(cands, base_id=100)
+        assert (1, 2) in table
+        assert (2, 3) not in table
+        assert dropped == 1
+
+    def test_best_candidates_get_smallest_ids(self):
+        builder = TableBuilder(exhaustive())
+        cands = builder.initialize([(1, 2, 3)])
+        cands.set_weight((1, 2), 2)
+        cands.set_weight((2, 3), 50)
+        table, _ = builder.finalize(cands, base_id=100)
+        assert table.expand(100) == (2, 3)
+
+    def test_min_final_weight_configurable(self):
+        builder = TableBuilder(exhaustive(min_final_weight=3))
+        cands = builder.initialize([(1, 2, 3)])
+        cands.set_weight((1, 2), 2)
+        table, _ = builder.finalize(cands, base_id=100)
+        assert len(table) == 0
+
+
+class TestBuild:
+    def test_base_id_above_all_vertices(self):
+        ds = PathDataset([[5, 900, 7, 900 - 1]])
+        table, _ = TableBuilder(exhaustive()).build(ds)
+        assert table.base_id == 901
+
+    def test_explicit_base_id(self):
+        ds = PathDataset([[1, 2, 3]])
+        table, _ = TableBuilder(exhaustive()).build(ds, base_id=10_000)
+        assert table.base_id == 10_000
+
+    def test_sampling_stride(self):
+        ds = PathDataset([[1, 2, 3]] * 8)
+        builder = TableBuilder(exhaustive(sample_exponent=2))
+        _, report = builder.build(ds)
+        assert report.sampled_paths == 2
+
+    def test_lambda_capacity_bounds_candidates(self):
+        ds = PathDataset([[i, i + 1, i + 2] for i in range(0, 300, 3)])
+        cfg = exhaustive(capacity=5)
+        table, report = TableBuilder(cfg).build(ds)
+        assert report.lambda_capacity == 5
+        assert len(table) <= 5
+
+    def test_zero_iterations_yields_frequent_edges(self):
+        # Greedy matching from position 0 pairs (1,2) and leaves 3 single,
+        # so only the practically-matchable edge survives.
+        ds = PathDataset([[1, 2, 3]] * 5)
+        cfg = exhaustive(iterations=0)
+        table, report = TableBuilder(cfg).build(ds)
+        assert set(table.subpaths) == {(1, 2)}
+
+    def test_report_counts_iterations(self):
+        ds = PathDataset([[1, 2, 3, 4]] * 4)
+        _, report = TableBuilder(exhaustive(iterations=3)).build(ds)
+        assert [s.iteration for s in report.iterations] == [1, 2, 3]
+        assert report.finalized_entries >= 1
+        assert "table" in report.summary()
+
+    def test_convenience_wrapper(self):
+        ds = PathDataset([[1, 2, 3, 4]] * 4)
+        table = build_supernode_table(ds, exhaustive())
+        assert (1, 2, 3, 4) in table
+
+    def test_fully_repeated_path_becomes_one_supernode(self):
+        """The hand-checkable end-to-end case: N copies of one path of
+        length 6 must yield the full path as a supernode."""
+        ds = PathDataset([[1, 2, 3, 4, 5, 6]] * 10)
+        table = build_supernode_table(ds, exhaustive())
+        assert (1, 2, 3, 4, 5, 6) in table
+
+    def test_empty_dataset(self):
+        table, report = TableBuilder(exhaustive()).build(PathDataset([]))
+        assert len(table) == 0
+        assert report.sampled_paths == 0

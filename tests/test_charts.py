@@ -1,0 +1,79 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.charts import ascii_chart, chart_from_rows
+
+
+class TestAsciiChart:
+    def test_renders_title_axes_legend(self):
+        text = ascii_chart(
+            {"CR": [(0, 1.0), (5, 3.0)]},
+            width=20, height=5, title="Fig X", x_label="i", y_label="CR",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Fig X"
+        assert "3" in lines[1]          # y max annotation
+        assert "+" in text and "-" in text  # axis
+        assert "* CR" in lines[-1]      # legend
+
+    def test_extreme_points_plotted_at_corners(self):
+        text = ascii_chart({"s": [(0, 0.0), (10, 10.0)]}, width=11, height=5)
+        lines = text.splitlines()
+        top_row = next(line for line in lines if line.rstrip().endswith("*"))
+        assert top_row  # the max point sits on the top row, rightmost column
+        bottom_rows = [line for line in lines if "|*" in line]
+        assert bottom_rows  # the min point sits at the left edge
+
+    def test_multiple_series_distinct_markers(self):
+        text = ascii_chart(
+            {"a": [(0, 1), (1, 2)], "b": [(0, 2), (1, 1)]},
+            width=12, height=5,
+        )
+        assert "* a" in text and "o b" in text
+        grid_rows = [line for line in text.splitlines() if "|" in line]
+        assert any("o" in row for row in grid_rows)
+        assert any("*" in row for row in grid_rows)
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_chart({"flat": [(0, 2.0), (1, 2.0), (2, 2.0)]}, width=12, height=5)
+        assert "*" in text
+
+    def test_single_point(self):
+        assert "*" in ascii_chart({"p": [(1, 1)]}, width=10, height=4)
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart({"e": []}, title="T")
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [(0, 1)]}, width=5, height=4)
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [(0, 1)]}, width=20, height=2)
+
+
+class TestChartFromRows:
+    ROWS = [
+        ("i", "CR", "CS"),
+        (0, 1.5, 6.0),
+        (1, 2.2, 5.0),
+        (2, "3.0", "4.2"),     # string cells parse too
+        (3, 3.2, 3.9),
+    ]
+
+    def test_extracts_series(self):
+        text = chart_from_rows(
+            self.ROWS, x_column=0, y_columns={"CR": 1, "CS": 2},
+            width=20, height=6,
+        )
+        assert "* CR" in text and "o CS" in text
+
+    def test_skips_unparseable_cells(self):
+        rows = [("x", "y"), ("n/a", "nope"), (1, 2)]
+        text = chart_from_rows(rows, 0, {"y": 1}, width=12, height=4)
+        assert "*" in text
+
+    def test_percentage_x_values(self):
+        rows = [("frac", "CR"), ("20%", 3.2), ("100%", 3.0)]
+        text = chart_from_rows(rows, 0, {"CR": 1}, width=15, height=4)
+        assert "100" in text

@@ -1,0 +1,200 @@
+"""Unit tests for the command-line interface (in-process via cli.main)."""
+
+import pytest
+
+from repro.cli import main
+from repro.paths.dataset import PathDataset
+from repro.paths.io import load_text, save_text
+
+
+@pytest.fixture()
+def paths_file(tmp_path):
+    ds = PathDataset(
+        [[1, 2, 3, 4, 5]] * 20 + [[9, 2, 3, 4, 8]] * 10 + [[7, 6, 5]] * 5,
+        name="cli",
+    )
+    target = tmp_path / "paths.txt"
+    save_text(ds, target)
+    return target, ds
+
+
+@pytest.fixture()
+def archive(paths_file, tmp_path):
+    source, ds = paths_file
+    out = tmp_path / "paths.offs"
+    code = main(["compress", str(source), str(out), "--sample-exponent", "0"])
+    assert code == 0
+    return out, ds
+
+
+class TestCompressDecompress:
+    def test_compress_creates_archive(self, archive, capsys):
+        out, _ = archive
+        assert out.exists() and out.stat().st_size > 0
+
+    def test_decompress_roundtrip(self, archive, tmp_path):
+        out, ds = archive
+        restored = tmp_path / "restored.txt"
+        assert main(["decompress", str(out), str(restored)]) == 0
+        assert load_text(restored) == ds
+
+    def test_compress_reports_ratio(self, paths_file, tmp_path, capsys):
+        source, _ = paths_file
+        main(["compress", str(source), str(tmp_path / "x.offs"), "--sample-exponent", "0"])
+        out = capsys.readouterr().out
+        assert "CR=" in out and "table=" in out
+
+    def test_options_forwarded(self, paths_file, tmp_path):
+        source, ds = paths_file
+        out = tmp_path / "x.offs"
+        code = main([
+            "compress", str(source), str(out),
+            "--sample-exponent", "0", "--iterations", "2",
+            "--delta", "4", "--topdown-rounds", "1",
+        ])
+        assert code == 0
+        restored = tmp_path / "r.txt"
+        assert main(["decompress", str(out), str(restored)]) == 0
+        assert load_text(restored) == ds
+
+
+class TestStats:
+    def test_stats_table(self, archive, capsys):
+        out, _ = archive
+        assert main(["stats", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "paths" in text and "byte_ratio" in text
+        assert "hottest table entries" in text
+
+    def test_stats_without_hot(self, archive, capsys):
+        out, _ = archive
+        assert main(["stats", str(out), "--hot", "0"]) == 0
+        assert "hottest" not in capsys.readouterr().out
+
+
+class TestRetrieve:
+    def test_single_path(self, archive, capsys):
+        out, ds = archive
+        assert main(["retrieve", str(out), "--id", "0"]) == 0
+        assert capsys.readouterr().out.strip() == "1 2 3 4 5"
+
+    def test_multiple_ids(self, archive, capsys):
+        out, ds = archive
+        assert main(["retrieve", str(out), "--id", "0", "--id", "34"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == ["1 2 3 4 5", "7 6 5"]
+
+    def test_unknown_id_fails_cleanly(self, archive, capsys):
+        out, _ = archive
+        assert main(["retrieve", str(out), "--id", "999"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_contains(self, archive, capsys):
+        out, ds = archive
+        assert main(["query", str(out), "--contains", "9"]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert lines == ["9 2 3 4 8"] * 10
+        assert "10 path(s)" in captured.err
+
+    def test_between(self, archive, capsys):
+        out, _ = archive
+        assert main(["query", str(out), "--between", "1", "5"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == ["1 2 3 4 5"] * 20
+
+    def test_no_match(self, archive, capsys):
+        out, _ = archive
+        assert main(["query", str(out), "--contains", "12345"]) == 0
+        assert capsys.readouterr().out.strip() == ""
+
+
+class TestErrors:
+    def test_missing_input_file(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.offs")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_archive(self, tmp_path, capsys):
+        bad = tmp_path / "bad.offs"
+        bad.write_bytes(b"not an archive")
+        assert main(["stats", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_text_input(self, tmp_path, capsys):
+        src = tmp_path / "bad.txt"
+        src.write_text("1 2 x\n")
+        assert main(["compress", str(src), str(tmp_path / "o.offs")]) == 1
+
+
+class TestGenerate:
+    def test_generate_workload(self, tmp_path, capsys):
+        out = tmp_path / "gen.txt"
+        assert main(["generate", "sanfrancisco", str(out), "--paths", "50"]) == 0
+        ds = load_text(out)
+        assert len(ds) == 50
+        assert "50 paths" in capsys.readouterr().out
+
+    def test_generate_seeded_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        main(["generate", "collision", str(a), "--paths", "30", "--seed", "7"])
+        main(["generate", "collision", str(b), "--paths", "30", "--seed", "7"])
+        assert a.read_text() == b.read_text()
+
+    def test_generate_unknown_workload(self, tmp_path, capsys):
+        assert main(["generate", "mars", str(tmp_path / "x.txt")]) == 1
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestTune:
+    def test_tune_prints_modes(self, paths_file, capsys):
+        source, _ = paths_file
+        assert main(["tune", str(source), "--pilot", "35"]) == 0
+        out = capsys.readouterr().out
+        assert "default mode:" in out and "fast mode:" in out
+        assert "tuning sweep" in out
+
+
+class TestSubpathQuery:
+    def test_subpath_query(self, archive, capsys):
+        out, _ = archive
+        assert main(["query", str(out), "--subpath", "2", "3", "4"]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 30  # both path families contain 2 3 4
+        assert "30 path(s)" in captured.err
+
+    def test_subpath_query_no_match(self, archive, capsys):
+        out, _ = archive
+        assert main(["query", str(out), "--subpath", "3", "2"]) == 0
+        assert capsys.readouterr().out.strip() == ""
+
+
+class TestCompare:
+    def test_compare_table(self, paths_file, capsys):
+        source, _ = paths_file
+        assert main(["compare", str(source), "--sample-exponent", "0"]) == 0
+        out = capsys.readouterr().out
+        for name in ("OFFS", "OFFS*", "Dlz4", "RSS", "GFS", "RePair"):
+            assert name in out
+        assert "CR" in out and "rule bytes" in out
+
+    def test_compare_without_repair(self, paths_file, capsys):
+        source, _ = paths_file
+        assert main(["compare", str(source), "--no-repair",
+                     "--sample-exponent", "0"]) == 0
+        assert "RePair" not in capsys.readouterr().out
+
+
+class TestViaQuery:
+    def test_via_query(self, archive, capsys):
+        out, _ = archive
+        assert main(["query", str(out), "--via", "1", "3", "5"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == ["1 2 3 4 5"] * 20
+
+    def test_via_needs_two_vertices(self, archive, capsys):
+        out, _ = archive
+        assert main(["query", str(out), "--via", "1"]) == 1
+        assert "at least" in capsys.readouterr().err

@@ -1,0 +1,44 @@
+"""Unit tests for the codec comparison helper."""
+
+import pytest
+
+from repro.analysis.compare import compare_codecs, comparison_rows, default_roster
+from repro.paths.dataset import PathDataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return PathDataset([[1, 2, 3, 4, 5]] * 30 + [[9, 2, 3, 4, 8]] * 15)
+
+
+class TestRoster:
+    def test_default_names(self):
+        names = [c.name for c in default_roster(sample_exponent=0)]
+        assert names == ["OFFS", "OFFS*", "Dlz4", "RSS", "GFS", "RePair"]
+
+    def test_repair_optional(self):
+        names = [c.name for c in default_roster(include_repair=False)]
+        assert "RePair" not in names
+
+
+class TestCompare:
+    def test_all_measured_and_verified(self, dataset):
+        results = compare_codecs(dataset, default_roster(sample_exponent=0))
+        assert set(results) == {"OFFS", "OFFS*", "Dlz4", "RSS", "GFS", "RePair"}
+        for m in results.values():
+            assert m.compression_ratio > 0
+
+    def test_rows_sorted_by_cr(self, dataset):
+        results = compare_codecs(dataset, default_roster(sample_exponent=0))
+        rows = comparison_rows(results)
+        crs = [row[1] for row in rows[1:]]
+        assert crs == sorted(crs, reverse=True)
+        assert rows[0][0] == "codec"
+
+    def test_custom_roster(self, dataset):
+        from repro.core.config import OFFSConfig
+        from repro.core.offs import OFFSCodec
+
+        codec = OFFSCodec(OFFSConfig(iterations=2, sample_exponent=0))
+        results = compare_codecs(dataset, [codec])
+        assert list(results) == ["OFFS"]

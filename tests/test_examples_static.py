@@ -1,0 +1,63 @@
+"""Static checks over the example scripts.
+
+The examples are living documentation; these tests keep them honest without
+paying their full runtime in the unit suite: every script must parse, carry
+a real module docstring with a run instruction, define ``main()``, and
+guard execution behind ``__main__``.  (The examples themselves are executed
+in the recorded benchmark/verification runs.)
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_expected_example_set_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "cloud_monitoring.py",
+        "taxi_trajectories.py",
+        "tuning_parameters.py",
+        "streaming_archive.py",
+    } <= names
+    assert len(names) >= 5
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+class TestExampleScript:
+    def test_parses(self, path):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        assert tree is not None
+
+    def test_has_docstring_with_run_instruction(self, path):
+        tree = ast.parse(path.read_text())
+        docstring = ast.get_docstring(tree)
+        assert docstring, f"{path.name} needs a module docstring"
+        assert f"python examples/{path.name}" in docstring
+
+    def test_defines_main(self, path):
+        tree = ast.parse(path.read_text())
+        functions = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+        assert "main" in functions
+
+    def test_has_main_guard(self, path):
+        assert 'if __name__ == "__main__":' in path.read_text()
+
+    def test_imports_resolve(self, path):
+        """Every `from repro...` import in the example must exist."""
+        import importlib
+
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and \
+                    node.module.startswith("repro"):
+                module = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(module, alias.name), (
+                        f"{path.name}: {node.module}.{alias.name} missing"
+                    )

@@ -1,0 +1,148 @@
+"""Unit tests for the graph substrates: topology, road network, walks."""
+
+import random
+
+import pytest
+
+from repro.graphs.road import RoadNetwork
+from repro.graphs.topology import CloudTopology
+from repro.graphs.walks import random_simple_walks, zipf_choice
+
+
+class TestZipf:
+    def test_bounds(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            assert 0 <= zipf_choice(rng, 10) < 10
+
+    def test_single_option(self):
+        assert zipf_choice(random.Random(0), 1) == 0
+
+    def test_skew_favours_low_indices(self):
+        rng = random.Random(0)
+        draws = [zipf_choice(rng, 50, exponent=1.2) for _ in range(3000)]
+        head = sum(1 for d in draws if d < 5)
+        assert head > len(draws) * 0.4  # the head dominates
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            zipf_choice(random.Random(0), 0)
+
+
+class TestRandomWalks:
+    ADJ = {1: [2, 3], 2: [3], 3: [1, 4], 4: []}
+
+    def test_walks_follow_edges(self):
+        for walk in random_simple_walks(self.ADJ, 50, 6, seed=1):
+            for a, b in zip(walk, walk[1:]):
+                assert b in self.ADJ[a]
+
+    def test_walks_are_simple(self):
+        for walk in random_simple_walks(self.ADJ, 50, 6, seed=2):
+            assert len(set(walk)) == len(walk)
+
+    def test_max_length_respected(self):
+        for walk in random_simple_walks(self.ADJ, 50, 3, seed=3):
+            assert len(walk) <= 3
+
+    def test_empty_graph(self):
+        assert random_simple_walks({}, 5, 4) == []
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            random_simple_walks(self.ADJ, 1, 0)
+
+
+class TestCloudTopology:
+    def test_paths_are_simple(self):
+        topo = CloudTopology(seed=1)
+        for path in topo.generate_paths(300, seed=2):
+            assert len(set(path)) == len(path)
+
+    def test_path_structure(self):
+        topo = CloudTopology(seed=1)
+        client_limit = topo.clients
+        for path in topo.generate_paths(100, seed=3):
+            assert path[0] < client_limit            # starts at a client
+            assert path[-1] >= topo.vertex_count - topo.databases  # ends at a DB
+
+    def test_deterministic(self):
+        topo = CloudTopology(seed=5)
+        assert topo.generate_paths(20, seed=9) == topo.generate_paths(20, seed=9)
+
+    def test_templates_are_simple_and_bounded(self):
+        topo = CloudTopology(seed=0, chain_length=(3, 6))
+        for template in topo.templates:
+            assert 3 <= len(template) <= 6
+            assert len(set(template)) == len(template)
+
+    def test_pod_routes_shape(self):
+        topo = CloudTopology(seed=0)
+        assert len(topo.pod_routes) == topo.pods
+        for pod in topo.pod_routes:
+            assert len(pod) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CloudTopology(gateways=0)
+        with pytest.raises(ValueError):
+            CloudTopology(chain_length=(5, 3))
+        with pytest.raises(ValueError):
+            CloudTopology(services=4, chain_length=(3, 6))
+        with pytest.raises(ValueError):
+            CloudTopology(pod_probability=1.5)
+
+
+class TestRoadNetwork:
+    @pytest.fixture()
+    def net(self):
+        return RoadNetwork(width=12, height=10, hotspots=6, seed=4)
+
+    def test_cell_id_roundtrip(self, net):
+        for cell in [(0, 0), (9, 11), (5, 7)]:
+            assert net.cell_of(net.cell_id(cell)) == cell
+
+    def test_cell_id_bounds(self, net):
+        with pytest.raises(ValueError):
+            net.cell_id((10, 0))
+        with pytest.raises(ValueError):
+            net.cell_of(12 * 10)
+
+    def test_route_is_shortest(self, net):
+        route = net.route((0, 0), (3, 4))
+        assert len(route) == 3 + 4 + 1  # Manhattan distance + 1 cells
+
+    def test_route_is_connected_and_simple(self, net):
+        route = net.route((1, 1), (8, 9))
+        cells = [net.cell_of(v) for v in route]
+        for a, b in zip(cells, cells[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+        assert len(set(route)) == len(route)
+
+    def test_route_deterministic_and_cached(self, net):
+        first = net.route((0, 0), (5, 5))
+        second = net.route((0, 0), (5, 5))
+        assert first is second  # cache hit returns the same tuple
+
+    def test_route_via_joins_legs(self, net):
+        via = net.route_via((0, 0), (5, 5), (9, 9))
+        direct_a = net.route((0, 0), (5, 5))
+        assert via[: len(direct_a)] == direct_a
+
+    def test_trips_have_hotspot_terminals(self, net):
+        rng = random.Random(0)
+        hotspot_ids = {net.cell_id(h) for h in net.hotspots}
+        for _ in range(30):
+            trip = net.sample_trip(rng, detour_probability=0.0)
+            assert trip[0] in hotspot_ids and trip[-1] in hotspot_ids
+
+    def test_generate_trips_deterministic(self, net):
+        assert net.generate_trips(10, seed=1) == net.generate_trips(10, seed=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoadNetwork(width=1)
+        with pytest.raises(ValueError):
+            RoadNetwork(hotspots=1)
+        with pytest.raises(ValueError):
+            RoadNetwork(width=2, height=2, hotspots=9)

@@ -1,0 +1,84 @@
+"""Unit and property tests for the from-scratch LZ77 codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.generic.lz77 import lz77_compress, lz77_decompress
+
+
+class TestBasics:
+    def test_empty(self):
+        assert lz77_decompress(lz77_compress(b"")) == b""
+
+    def test_short_literal_only(self):
+        data = b"abc"
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_repetitive_data_shrinks(self):
+        data = b"abcdefgh" * 100
+        blob = lz77_compress(data)
+        assert len(blob) < len(data) // 4
+        assert lz77_decompress(blob) == data
+
+    def test_incompressible_data_roundtrips(self):
+        import random
+
+        rng = random.Random(0)
+        data = bytes(rng.randrange(256) for _ in range(500))
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_overlapping_match(self):
+        # Run-length-style data forces offset < length copies.
+        data = b"a" * 200
+        blob = lz77_compress(data)
+        assert lz77_decompress(blob) == data
+        assert len(blob) < 20
+
+    def test_match_at_start_via_dictionary(self):
+        zdict = b"hello world, this is the dictionary"
+        data = b"hello world, this is the payload"
+        with_dict = lz77_compress(data, zdict)
+        without = lz77_compress(data)
+        assert lz77_decompress(with_dict, zdict) == data
+        assert len(with_dict) < len(without)
+
+    def test_dictionary_mismatch_breaks_roundtrip(self):
+        zdict = b"abcdefghijklmnop"
+        blob = lz77_compress(b"abcdefghijklmnop!", zdict)
+        wrong = lz77_decompress(blob, b"ABCDEFGHIJKLMNOP")
+        assert wrong != b"abcdefghijklmnop!"
+
+
+class TestErrorHandling:
+    def test_truncated_stream(self):
+        blob = lz77_compress(b"abcdabcdabcdabcd")
+        with pytest.raises(ValueError):
+            lz77_decompress(blob[:-1])
+
+    def test_garbage_offset(self):
+        # literal_len=0, offset=200 (points before any data), extra=0
+        blob = bytes([0, 200, 1, 0])
+        with pytest.raises(ValueError):
+            lz77_decompress(blob)
+
+
+@settings(max_examples=60)
+@given(st.binary(max_size=600))
+def test_roundtrip_property(data):
+    assert lz77_decompress(lz77_compress(data)) == data
+
+
+@settings(max_examples=40)
+@given(st.binary(max_size=300), st.binary(max_size=200))
+def test_roundtrip_with_dictionary_property(data, zdict):
+    assert lz77_decompress(lz77_compress(data, zdict), zdict) == data
+
+
+@settings(max_examples=30)
+@given(st.lists(st.sampled_from([b"abcd", b"wxyz", b"1234"]), max_size=50))
+def test_structured_data_roundtrip_and_shrinks(chunks):
+    data = b"".join(chunks)
+    blob = lz77_compress(data)
+    assert lz77_decompress(blob) == data
+    if len(data) > 64:
+        assert len(blob) < len(data)

@@ -1,0 +1,72 @@
+"""Property-based equivalence of the three matcher backends.
+
+Algorithm 6 (flat hash), Algorithm 7 (two-level hash) and the §IV-D trie
+must be *observationally identical*: same contents → same weights, same
+longest-match answers at every position and cap.  Only probe cost may
+differ.  Hypothesis drives random candidate sets and queries through all
+three at once.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matcher import HashCandidates
+from repro.core.multilevel import MultiLevelCandidates
+from repro.core.trie import TrieCandidates
+
+candidate = st.lists(st.integers(min_value=0, max_value=9), min_size=2, max_size=8).map(tuple)
+candidates = st.lists(st.tuples(candidate, st.integers(min_value=1, max_value=5)), max_size=30)
+query_path = st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=20).map(tuple)
+
+
+def _populate(entries):
+    backends = [HashCandidates(), MultiLevelCandidates(alpha=4), TrieCandidates()]
+    for seq, weight in entries:
+        for backend in backends:
+            backend.add(seq, weight)
+    return backends
+
+
+@given(candidates, query_path, st.integers(min_value=1, max_value=10))
+def test_longest_match_identical(entries, path, cap):
+    backends = _populate(entries)
+    answers = {
+        type(b).__name__: [b.longest_match(path, pos, cap) for pos in range(len(path))]
+        for b in backends
+    }
+    assert len(set(map(tuple, answers.values()))) == 1, answers
+
+
+@given(candidates)
+def test_contents_identical(entries):
+    backends = _populate(entries)
+    views = [dict(b.items()) for b in backends]
+    assert views[0] == views[1] == views[2]
+
+
+@given(candidates, st.integers(min_value=1, max_value=10))
+def test_top_candidates_identical(entries, keep):
+    backends = _populate(entries)
+    tops = [b.top_candidates(keep) for b in backends]
+    assert tops[0] == tops[1] == tops[2]
+
+
+@given(candidates, st.lists(candidate, max_size=10))
+def test_discard_identical(entries, to_discard):
+    backends = _populate(entries)
+    for seq in to_discard:
+        for b in backends:
+            b.discard(seq)
+    views = [dict(b.items()) for b in backends]
+    assert views[0] == views[1] == views[2]
+    assert len(backends[0]) == len(backends[1]) == len(backends[2])
+
+
+@settings(max_examples=30)
+@given(candidates, query_path)
+def test_prune_then_match_identical(entries, path):
+    backends = _populate(entries)
+    for b in backends:
+        b.prune_to_top(5)
+    for pos in range(len(path)):
+        answers = {b.longest_match(path, pos, 8) for b in backends}
+        assert len(answers) == 1

@@ -1,0 +1,107 @@
+"""Unit tests for the RSS/GFS one-pass DICT baselines (Algorithm 4)."""
+
+import pytest
+
+from repro.baselines.gfs import GFSCodec, gross_weighted_frequency
+from repro.baselines.onepass import collect_subpath_counts
+from repro.baselines.rss import RSSCodec
+from repro.paths.dataset import PathDataset
+
+
+class TestCollectSubpathCounts:
+    def test_counts_every_position(self):
+        counts = collect_subpath_counts([(1, 2, 1, 2)], max_len=2)
+        # Gross counting: (1,2) occurs at positions 0 and 2; (2,1) once.
+        assert counts[(1, 2)] == 2
+        assert counts[(2, 1)] == 1
+
+    def test_counts_overlapping_occurrences(self):
+        counts = collect_subpath_counts([(5, 5 + 0, 7)], max_len=3)
+        assert counts[(5, 5, 7)] == 1  # sanity on short input
+
+    def test_lengths_up_to_max(self):
+        counts = collect_subpath_counts([(1, 2, 3, 4)], max_len=3)
+        assert (1, 2, 3) in counts
+        assert (1, 2, 3, 4) not in counts
+
+    def test_pruning_keeps_top_by_rank(self):
+        paths = [tuple(range(i, i + 6)) for i in range(0, 60, 6)]
+        paths += [(100, 101)] * 10
+        def rank(item):
+            seq, count = item
+            return (-count * len(seq), seq)
+        counts = collect_subpath_counts(
+            paths, max_len=4, prune_threshold=20, prune_keep=10, prune_rank=rank
+        )
+        assert len(counts) <= 10 + 9 * 4  # last path's additions may exceed keep
+        assert (100, 101) in counts
+
+
+class TestGFS:
+    def test_measure(self):
+        assert gross_weighted_frequency((1, 2, 3), 4) == 12
+
+    def test_picks_top_gross_candidates(self):
+        ds = PathDataset([[1, 2, 3]] * 10 + [[4, 5]] * 2)
+        codec = GFSCodec(capacity=2, sample_exponent=0)
+        codec.fit(ds)
+        assert set(codec.table.subpaths) == {(1, 2, 3), (1, 2)} or \
+            (1, 2, 3) in codec.table
+
+    def test_overlapping_candidates_crowd_the_table(self):
+        # All fragments of the hot subpath rank above the cold pattern.
+        ds = PathDataset([[1, 2, 3, 4, 5]] * 10 + [[7, 8]] * 3)
+        codec = GFSCodec(capacity=5, max_len=5, sample_exponent=0)
+        codec.fit(ds)
+        hot = (1, 2, 3, 4, 5)
+        fragments = [
+            sp for sp in codec.table.subpaths
+            if any(hot[i : i + len(sp)] == sp for i in range(len(hot)))
+        ]
+        assert len(fragments) == 5  # (7,8) never made it
+
+    def test_roundtrip(self):
+        ds = PathDataset([[1, 2, 3, 4]] * 5 + [[5, 6, 7]] * 5)
+        codec = GFSCodec(capacity=10, sample_exponent=0).fit(ds)
+        for path in ds:
+            assert codec.decompress_path(codec.compress_path(path)) == path
+
+
+class TestRSS:
+    def test_respects_capacity(self):
+        ds = PathDataset([[i, i + 1, i + 2] for i in range(0, 90, 3)])
+        codec = RSSCodec(capacity=7, sample_exponent=0).fit(ds)
+        assert len(codec.table) <= 7
+
+    def test_deterministic_for_seed(self):
+        ds = PathDataset([[i, i + 1, i + 2] for i in range(0, 90, 3)])
+        a = RSSCodec(capacity=5, sample_exponent=0, seed=3).fit(ds)
+        b = RSSCodec(capacity=5, sample_exponent=0, seed=3).fit(ds)
+        assert a.table.subpaths == b.table.subpaths
+
+    def test_different_seeds_differ(self):
+        ds = PathDataset([[i, i + 1, i + 2] for i in range(0, 300, 3)])
+        a = RSSCodec(capacity=5, sample_exponent=0, seed=1).fit(ds)
+        b = RSSCodec(capacity=5, sample_exponent=0, seed=2).fit(ds)
+        assert a.table.subpaths != b.table.subpaths
+
+    def test_small_candidate_pool_taken_whole(self):
+        ds = PathDataset([[1, 2, 3]])
+        codec = RSSCodec(capacity=100, sample_exponent=0).fit(ds)
+        assert set(codec.table.subpaths) == {(1, 2), (2, 3), (1, 2, 3)}
+
+    def test_roundtrip(self):
+        ds = PathDataset([[1, 2, 3, 4, 5]] * 3 + [[9, 8, 7]] * 3)
+        codec = RSSCodec(capacity=64, sample_exponent=0).fit(ds)
+        for path in ds:
+            assert codec.decompress_path(codec.compress_path(path)) == path
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RSSCodec(capacity=0)
+
+    def test_bad_max_len(self):
+        with pytest.raises(ValueError):
+            GFSCodec(max_len=1)

@@ -1,0 +1,124 @@
+"""Unit tests for the path abstraction (Section II-A definitions)."""
+
+import pytest
+
+from repro.paths.path import (
+    Path,
+    common_prefix_length,
+    is_simple,
+    is_valid_path,
+    subpath,
+    subpaths_of_length,
+)
+
+
+class TestValidity:
+    def test_valid_path(self):
+        assert is_valid_path([0, 1, 2])
+
+    def test_empty_is_valid(self):
+        assert is_valid_path([])
+
+    def test_negative_id_invalid(self):
+        assert not is_valid_path([1, -2, 3])
+
+    def test_non_integer_invalid(self):
+        assert not is_valid_path([1, 2.5, 3])
+
+    def test_bool_is_not_a_vertex(self):
+        # bool subclasses int; a path of Trues is almost certainly a bug.
+        assert not is_valid_path([True, 2])
+
+
+class TestSimplicity:
+    def test_simple(self):
+        assert is_simple([1, 2, 3])
+
+    def test_duplicate_not_simple(self):
+        assert not is_simple([1, 2, 1])
+
+    def test_empty_is_simple(self):
+        assert is_simple([])
+
+
+class TestSubpath:
+    def test_paper_example(self):
+        # "given a path P = {1,2,3,5,8,13}, we have P[1:4] = {2,3,5}"
+        p = [1, 2, 3, 5, 8, 13]
+        assert subpath(p, 1, 4) == (2, 3, 5)
+
+    def test_full_range(self):
+        assert subpath([1, 2, 3], 0, 3) == (1, 2, 3)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            subpath([1, 2, 3], 1, 5)
+
+    def test_inverted_range_raises(self):
+        with pytest.raises(IndexError):
+            subpath([1, 2, 3], 2, 1)
+
+
+class TestSubpathsOfLength:
+    def test_all_pairs(self):
+        assert list(subpaths_of_length([1, 2, 3], 2)) == [(1, 2), (2, 3)]
+
+    def test_whole_path(self):
+        assert list(subpaths_of_length([1, 2, 3], 3)) == [(1, 2, 3)]
+
+    def test_too_long_yields_nothing(self):
+        assert list(subpaths_of_length([1, 2], 3)) == []
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            list(subpaths_of_length([1, 2], 0))
+
+
+class TestCommonPrefix:
+    def test_shared_prefix(self):
+        assert common_prefix_length([1, 2, 3, 4], [1, 2, 9]) == 2
+
+    def test_disjoint(self):
+        assert common_prefix_length([1, 2], [3, 4]) == 0
+
+    def test_one_contains_other(self):
+        assert common_prefix_length([1, 2], [1, 2, 3]) == 2
+
+
+class TestPathClass:
+    def test_behaves_like_tuple(self):
+        p = Path.of([1, 2, 3, 5, 8, 13])
+        assert p[4] == 8
+        assert p[1:4] == (2, 3, 5)
+        assert len(p) == 6
+
+    def test_hashable(self):
+        assert {Path.of([1, 2]): "x"}[Path.of([1, 2])] == "x"
+
+    def test_is_simple_property(self):
+        assert Path.of([1, 2, 3]).is_simple
+        assert not Path.of([1, 2, 1]).is_simple
+
+    def test_edges(self):
+        assert Path.of([1, 2, 3]).edges == [(1, 2), (2, 3)]
+
+    def test_terminals(self):
+        assert Path.of([4, 5, 6]).terminals() == (4, 6)
+
+    def test_terminals_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            Path.of([]).terminals()
+
+    def test_contains_vertex(self):
+        assert Path.of([1, 2, 3]).contains_vertex(2)
+        assert not Path.of([1, 2, 3]).contains_vertex(9)
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValueError):
+            Path.of([1, -1])
+
+    def test_constructor_matches_of(self):
+        assert Path([1, 2]) == Path.of([1, 2])
+
+    def test_repr_roundtrip_readable(self):
+        assert repr(Path.of([1, 2])) == "Path([1, 2])"

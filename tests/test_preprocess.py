@@ -1,0 +1,149 @@
+"""Unit and property tests for the Section VI-A preprocessing pipeline."""
+
+from hypothesis import given, strategies as st
+
+import pytest
+
+from repro.paths.dataset import PathDataset
+from repro.paths.preprocess import (
+    assign_new_ids,
+    cut_cycles,
+    drop_adjacent_duplicates,
+    group_by_passing_vertex,
+    group_by_terminals,
+    preprocess_paths,
+    prune_trivial,
+)
+
+
+class TestNewIds:
+    def test_dense_first_seen_order(self):
+        paths, mapping = assign_new_ids([["a", "b"], ["b", "c"]])
+        assert paths == [[0, 1], [1, 2]]
+        assert mapping == {"a": 0, "b": 1, "c": 2}
+
+    def test_tuples_as_labels(self):
+        # Grid cells arrive as (row, col) pairs before id assignment.
+        paths, mapping = assign_new_ids([[(0, 0), (0, 1)], [(0, 1), (1, 1)]])
+        assert paths == [[0, 1], [1, 2]]
+        assert len(mapping) == 3
+
+    def test_empty_input(self):
+        paths, mapping = assign_new_ids([])
+        assert paths == [] and mapping == {}
+
+
+class TestNoise:
+    def test_collapses_runs(self):
+        # "keep only the first one and drop the rest"
+        assert drop_adjacent_duplicates([1, 1, 1, 2, 2, 3]) == [1, 2, 3]
+
+    def test_keeps_non_adjacent_duplicates(self):
+        assert drop_adjacent_duplicates([1, 2, 1]) == [1, 2, 1]
+
+    def test_empty(self):
+        assert drop_adjacent_duplicates([]) == []
+
+
+class TestCycles:
+    def test_paper_rule_cut_before_recurring(self):
+        # Cutting [1,2,3,2,4] before the recurring 2 gives [1,2,3] and [2,4].
+        assert cut_cycles([1, 2, 3, 2, 4]) == [[1, 2, 3], [2, 4]]
+
+    def test_no_cycle_is_one_piece(self):
+        assert cut_cycles([1, 2, 3]) == [[1, 2, 3]]
+
+    def test_multiple_cycles(self):
+        pieces = cut_cycles([1, 2, 1, 3, 1, 4])
+        assert pieces == [[1, 2], [1, 3], [1, 4]]
+
+    def test_every_piece_is_simple(self):
+        for piece in cut_cycles([5, 1, 2, 3, 1, 2, 4, 5, 6]):
+            assert len(set(piece)) == len(piece)
+
+    def test_empty(self):
+        assert cut_cycles([]) == []
+
+
+class TestPrune:
+    def test_drops_short_paths(self):
+        # "discarding paths of size no more than 2"
+        kept = prune_trivial([[1], [1, 2], [1, 2, 3]])
+        assert kept == [[1, 2, 3]]
+
+    def test_custom_threshold(self):
+        assert prune_trivial([[1, 2]], min_length=2) == [[1, 2]]
+
+
+class TestPipeline:
+    def test_end_to_end(self):
+        raw = [
+            [1, 1, 2, 3, 3, 2, 4],  # noise + cycle
+            [5, 6],                 # trivial after nothing
+            [7, 8, 9, 7],           # pure cycle
+        ]
+        ds, report = preprocess_paths(raw)
+        assert list(ds) == [(1, 2, 3), (7, 8, 9)]
+        assert report.input_paths == 3
+        assert report.output_paths == 2
+        assert report.duplicate_vertices_removed == 2
+        assert report.cycles_cut == 2
+        # [2,4] (cut piece), [5,6] and the trailing [7] all fall below 3.
+        assert report.trivial_paths_dropped == 3
+        assert "3 raw" in report.summary()
+
+    def test_cut_piece_of_length_two_dropped(self):
+        ds, report = preprocess_paths([[1, 2, 3, 2, 4]])
+        # [2, 4] has only two vertices -> pruned.
+        assert list(ds) == [(1, 2, 3)]
+        assert report.trivial_paths_dropped == 1
+
+    def test_empty_input(self):
+        ds, report = preprocess_paths([])
+        assert len(ds) == 0
+        assert report.input_paths == 0
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=30), max_size=40),
+        max_size=25,
+    )
+)
+def test_pipeline_output_always_simple_and_long_enough(raw):
+    """The paper's guarantee: 'the output paths always stay simple'."""
+    ds, _ = preprocess_paths(raw)
+    for path in ds:
+        assert len(path) >= 3
+        assert len(set(path)) == len(path)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=20), min_size=0, max_size=60)
+)
+def test_cycle_cut_preserves_vertex_stream(walk):
+    """Concatenating the pieces restores the (deduplicated) walk exactly."""
+    deduped = drop_adjacent_duplicates(walk)
+    pieces = cut_cycles(deduped)
+    rebuilt = [v for piece in pieces for v in piece]
+    assert rebuilt == deduped
+
+
+class TestGrouping:
+    def test_group_by_terminals(self):
+        ds = PathDataset([[1, 2, 3], [1, 9, 3], [4, 5, 6]])
+        groups = group_by_terminals(ds)
+        assert set(groups) == {(1, 3), (4, 6)}
+        assert len(groups[(1, 3)]) == 2
+
+    def test_group_by_passing_vertex(self):
+        ds = PathDataset([[1, 2, 3], [4, 2, 5], [6, 7, 8]])
+        groups = group_by_passing_vertex(ds, [2, 7])
+        assert len(groups[2]) == 2
+        assert len(groups[7]) == 1
+        assert set(groups) == {2, 7}
+
+    def test_paths_can_recur_among_groups(self):
+        ds = PathDataset([[1, 2, 7, 3]])
+        groups = group_by_passing_vertex(ds, [2, 7])
+        assert len(groups[2]) == 1 and len(groups[7]) == 1

@@ -1,0 +1,114 @@
+"""Property-based invariants of the whole compression stack.
+
+The single non-negotiable property is losslessness: for any dataset and any
+codec in the repository, ``decompress(compress(P)) == P`` for every path —
+including paths never seen at fit time (within the trained id universe).
+Further invariants: compressed streams never mix id spaces, table entries
+respect δ, and the store round-trips through serialization.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.dlz4 import Dlz4Codec
+from repro.baselines.gfs import GFSCodec
+from repro.baselines.rss import RSSCodec
+from repro.core.config import OFFSConfig
+from repro.core.offs import OFFSCodec
+from repro.core.serialize import dumps_store, loads_store
+from repro.core.store import CompressedPathStore
+from repro.paths.dataset import PathDataset
+
+# Simple paths over a small id universe, so hot subpaths actually recur.
+path_strategy = st.lists(
+    st.integers(min_value=0, max_value=40), min_size=1, max_size=25, unique=True
+).map(tuple)
+dataset_strategy = st.lists(path_strategy, min_size=1, max_size=40).map(PathDataset)
+
+
+def exhaustive_offs() -> OFFSCodec:
+    return OFFSCodec(OFFSConfig(iterations=3, sample_exponent=0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(dataset_strategy)
+def test_offs_roundtrips_every_path(dataset):
+    codec = exhaustive_offs().fit(dataset)
+    for path in dataset:
+        assert codec.decompress_path(codec.compress_path(path)) == path
+
+
+@settings(max_examples=25, deadline=None)
+@given(dataset_strategy, path_strategy)
+def test_offs_roundtrips_unseen_paths(dataset, unseen):
+    # The unseen path may use ids the training data never showed, so the
+    # codec is fitted with an explicit base_id covering the whole universe
+    # (the documented contract for sample-trained tables).
+    codec = OFFSCodec(OFFSConfig(iterations=3, sample_exponent=0), base_id=41)
+    codec.fit(dataset)
+    assert codec.decompress_path(codec.compress_path(unseen)) == unseen
+
+
+@settings(max_examples=25, deadline=None)
+@given(dataset_strategy)
+def test_offs_table_respects_delta(dataset):
+    codec = exhaustive_offs().fit(dataset)
+    assert codec.table.max_subpath_length <= codec.config.delta
+
+
+@settings(max_examples=25, deadline=None)
+@given(dataset_strategy)
+def test_compressed_streams_partition_id_spaces(dataset):
+    codec = exhaustive_offs().fit(dataset)
+    base = codec.table.base_id
+    limit = base + len(codec.table)
+    for path in dataset:
+        for symbol in codec.compress_path(path):
+            assert symbol < limit
+            if symbol >= base:
+                assert codec.table.expand(symbol)  # resolvable supernode
+
+
+@settings(max_examples=25, deadline=None)
+@given(dataset_strategy)
+def test_compression_never_grows_symbol_count(dataset):
+    codec = exhaustive_offs().fit(dataset)
+    for path in dataset:
+        assert len(codec.compress_path(path)) <= len(path)
+
+
+@settings(max_examples=20, deadline=None)
+@given(dataset_strategy)
+def test_rss_and_gfs_roundtrip(dataset):
+    for codec in (
+        RSSCodec(capacity=32, sample_exponent=0),
+        GFSCodec(capacity=32, sample_exponent=0),
+    ):
+        codec.fit(dataset)
+        for path in dataset:
+            assert codec.decompress_path(codec.compress_path(path)) == path
+
+
+@settings(max_examples=15, deadline=None)
+@given(dataset_strategy)
+def test_dlz4_roundtrip(dataset):
+    codec = Dlz4Codec(sample_exponent=0).fit(dataset)
+    for path in dataset:
+        assert codec.decompress_path(codec.compress_path(path)) == path
+
+
+@settings(max_examples=20, deadline=None)
+@given(dataset_strategy)
+def test_store_serialization_roundtrip(dataset):
+    codec = exhaustive_offs()
+    store = CompressedPathStore.from_codec(dataset, codec)
+    restored = loads_store(dumps_store(store))
+    assert restored.retrieve_all() == [tuple(p) for p in dataset]
+
+
+@settings(max_examples=20, deadline=None)
+@given(dataset_strategy, st.integers(min_value=0, max_value=10_000))
+def test_store_random_access_matches_original(dataset, pick):
+    codec = exhaustive_offs()
+    store = CompressedPathStore.from_codec(dataset, codec)
+    path_id = pick % len(store)
+    assert store.retrieve(path_id) == dataset[path_id]

@@ -1,0 +1,111 @@
+"""Unit tests for the Case 1 / Case 2 retrieval layer, checked brute-force."""
+
+import pytest
+
+from repro.core.config import OFFSConfig
+from repro.core.offs import OFFSCodec
+from repro.core.store import CompressedPathStore
+from repro.queries.index import VertexIndex
+from repro.queries.retrieval import PathQueryEngine
+from repro.workloads.registry import make_dataset
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = make_dataset("sanfrancisco", "tiny")
+    codec = OFFSCodec(OFFSConfig(iterations=3, sample_exponent=0))
+    store = CompressedPathStore.from_codec(dataset, codec)
+    return dataset, store, PathQueryEngine(store)
+
+
+class TestVertexIndex:
+    def test_postings_match_brute_force(self, setup):
+        dataset, store, engine = setup
+        index = engine.index
+        # Check a spread of vertices against a linear scan of the originals.
+        vertices = sorted(dataset.vertex_ids())[::17]
+        for v in vertices:
+            expected = [i for i, p in enumerate(dataset) if v in p]
+            assert index.paths_containing(v) == expected, v
+
+    def test_unknown_vertex_empty(self, setup):
+        _, _, engine = setup
+        assert engine.index.paths_containing(10**9) == []
+
+    def test_intersection(self, setup):
+        dataset, _, engine = setup
+        path = dataset[0]
+        a, b = path[0], path[-1]
+        expected = sorted(
+            i for i, p in enumerate(dataset) if a in p and b in p
+        )
+        assert engine.index.paths_containing_all((a, b)) == expected
+
+    def test_union(self, setup):
+        dataset, _, engine = setup
+        path = dataset[0]
+        a, b = path[0], path[-1]
+        expected = sorted(
+            i for i, p in enumerate(dataset) if a in p or b in p
+        )
+        assert engine.index.paths_containing_any((a, b)) == expected
+
+    def test_contains(self, setup):
+        dataset, _, engine = setup
+        assert dataset[0][0] in engine.index
+
+    def test_refresh_after_append(self, setup):
+        dataset, store, _ = setup
+        # Build a fresh store/index so appends don't disturb other tests.
+        local = CompressedPathStore(store.table)
+        local.extend(list(dataset)[:10])
+        index = VertexIndex(local)
+        new_path = dataset[10]
+        pid = local.append(new_path)
+        index.refresh()
+        assert pid in index.paths_containing(new_path[0])
+
+    def test_empty_intersection_of_nothing(self, setup):
+        _, _, engine = setup
+        assert engine.index.paths_containing_all(()) == []
+
+
+class TestCase1AffectedNodes:
+    def test_affected_paths_decompress_correctly(self, setup):
+        dataset, _, engine = setup
+        issue = dataset[3][1]
+        expected = [p for p in dataset if issue in p]
+        assert engine.affected_paths(issue) == expected
+
+    def test_affected_vertices_excludes_issue_vertex(self, setup):
+        dataset, _, engine = setup
+        issue = dataset[0][1]
+        affected = engine.affected_vertices(issue)
+        assert issue not in affected
+        brute = set()
+        for p in dataset:
+            if issue in p:
+                brute.update(p)
+        brute.discard(issue)
+        assert affected == brute
+
+
+class TestCase2TerminalPairs:
+    def test_paths_between_match_brute_force(self, setup):
+        dataset, _, engine = setup
+        src, dst = dataset[1][0], dataset[1][-1]
+        expected = [p for p in dataset if p[0] == src and p[-1] == dst]
+        assert engine.paths_between(src, dst) == expected
+
+    def test_intermediates(self, setup):
+        dataset, _, engine = setup
+        src, dst = dataset[2][0], dataset[2][-1]
+        brute = set()
+        for p in dataset:
+            if p[0] == src and p[-1] == dst:
+                brute.update(p[1:-1])
+        assert engine.intermediate_vertices(src, dst) == brute
+
+    def test_no_match(self, setup):
+        _, _, engine = setup
+        assert engine.paths_between(10**9, 10**9 + 1) == []

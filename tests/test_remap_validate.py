@@ -1,0 +1,134 @@
+"""Unit tests for frequency remapping and archive validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import OFFSConfig
+from repro.core.offs import OFFSCodec
+from repro.core.store import CompressedPathStore
+from repro.core.validate import validate_store
+from repro.paths.dataset import PathDataset
+from repro.paths.encoding import VarintEncoding
+from repro.paths.remap import FrequencyRemapper
+from repro.workloads.registry import make_dataset
+
+
+class TestFrequencyRemapper:
+    @pytest.fixture()
+    def ds(self):
+        return PathDataset([[500, 900, 7]] * 5 + [[900, 7]] * 3 + [[123, 500]])
+
+    def test_hottest_vertex_gets_id_zero(self, ds):
+        remapper = FrequencyRemapper.fit(ds)
+        # 900 and 7 occur 8 times each; tie breaks on original id -> 7 first.
+        assert remapper.apply_vertex(7) == 0
+        assert remapper.apply_vertex(900) == 1
+
+    def test_roundtrip(self, ds):
+        remapper = FrequencyRemapper.fit(ds)
+        for path in ds:
+            assert remapper.invert_path(remapper.apply_path(path)) == path
+
+    def test_transform_restore(self, ds):
+        remapper = FrequencyRemapper.fit(ds)
+        remapped = remapper.transform(ds)
+        assert remapper.restore(remapped) == ds
+        assert remapped.name.endswith("/remapped")
+
+    def test_table_roundtrip(self, ds):
+        remapper = FrequencyRemapper.fit(ds)
+        rebuilt = FrequencyRemapper.from_table(remapper.as_table())
+        for path in ds:
+            assert rebuilt.apply_path(path) == remapper.apply_path(path)
+
+    def test_non_bijection_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyRemapper({1: 0, 2: 0})
+        with pytest.raises(ValueError):
+            FrequencyRemapper({1: 5})
+
+    def test_unknown_vertex_raises(self, ds):
+        remapper = FrequencyRemapper.fit(ds)
+        with pytest.raises(KeyError):
+            remapper.apply_vertex(424242)
+
+    def test_varint_bytes_shrink(self):
+        ds = make_dataset("sanfrancisco", "tiny")
+        remapper = FrequencyRemapper.fit(ds)
+        remapped = remapper.transform(ds)
+        enc = VarintEncoding()
+        before = sum(enc.size_of(p) for p in ds)
+        after = sum(enc.size_of(p) for p in remapped)
+        assert after <= before
+
+    @given(st.lists(st.lists(st.integers(0, 500), min_size=1, max_size=10),
+                    min_size=1, max_size=20))
+    def test_roundtrip_property(self, paths):
+        ds = PathDataset(paths)
+        remapper = FrequencyRemapper.fit(ds)
+        assert remapper.restore(remapper.transform(ds)) == ds
+
+
+class TestValidateStore:
+    @pytest.fixture()
+    def store(self):
+        ds = make_dataset("sanfrancisco", "tiny")
+        codec = OFFSCodec(OFFSConfig(iterations=3, sample_exponent=0))
+        return CompressedPathStore.from_codec(ds, codec)
+
+    def test_healthy_store_passes(self, store):
+        report = validate_store(store, sample=50)
+        assert report.ok, report.errors
+        assert report.sampled == 50
+        assert "OK" in report.summary()
+
+    def test_small_store_samples_everything(self):
+        ds = PathDataset([[1, 2, 3]] * 5)
+        codec = OFFSCodec(OFFSConfig(iterations=2, sample_exponent=0))
+        store = CompressedPathStore.from_codec(ds, codec)
+        report = validate_store(store, sample=100)
+        assert report.sampled == 5
+
+    def test_out_of_range_symbol_detected(self, store):
+        store._tokens[3] = (store.table.base_id + len(store.table) + 7,)
+        report = validate_store(store)
+        assert not report.ok
+        assert any("beyond table" in e for e in report.errors)
+
+    def test_table_tampering_detected(self, store):
+        store.table._by_id[store.table.base_id + len(store.table)] = (1, 2)
+        report = validate_store(store)
+        assert not report.ok
+        assert any("table:" in e for e in report.errors)
+
+    def test_dead_entries_counted(self):
+        from repro.core.supernode_table import SupernodeTable
+
+        table = SupernodeTable(100, [(1, 2), (3, 4)])
+        store = CompressedPathStore(table)
+        store.append((1, 2, 9))  # uses (1,2) only
+        report = validate_store(store)
+        assert report.dead_entries == 1
+        assert report.ok
+
+    def test_empty_store(self):
+        from repro.core.supernode_table import SupernodeTable
+
+        store = CompressedPathStore(SupernodeTable(10))
+        report = validate_store(store)
+        assert report.ok and report.sampled == 0
+
+
+class TestVerifyCli:
+    def test_verify_command(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.paths.io import save_text
+
+        ds = PathDataset([[1, 2, 3, 4]] * 10)
+        src = tmp_path / "p.txt"
+        save_text(ds, src)
+        archive = tmp_path / "p.offs"
+        assert main(["compress", str(src), str(archive), "--sample-exponent", "0"]) == 0
+        capsys.readouterr()
+        assert main(["verify", str(archive)]) == 0
+        assert "OK" in capsys.readouterr().out

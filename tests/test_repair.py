@@ -1,0 +1,117 @@
+"""Unit and property tests for the Re-Pair grammar comparator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.repair import RePairCodec, _replace_pair
+from repro.core.errors import NotFittedError, TableError
+from repro.paths.dataset import PathDataset
+
+
+class TestReplacePair:
+    def test_simple(self):
+        assert _replace_pair([1, 2, 3, 1, 2], (1, 2), 9) == [9, 3, 9]
+
+    def test_non_overlapping_left_to_right(self):
+        # aaa with pair (a,a): first two merge, third stays.
+        assert _replace_pair([5, 5, 5], (5, 5), 9) == [9, 5]
+
+    def test_no_occurrence(self):
+        assert _replace_pair([1, 2, 3], (7, 8), 9) == [1, 2, 3]
+
+    def test_empty(self):
+        assert _replace_pair([], (1, 2), 9) == []
+
+
+class TestTraining:
+    def test_most_frequent_pair_becomes_first_rule(self):
+        ds = PathDataset([[1, 2, 3]] * 5 + [[1, 2, 4]] * 3)
+        codec = RePairCodec().fit(ds)
+        assert codec.rules[0] == (1, 2)
+
+    def test_hierarchy_emerges(self):
+        # A length-4 repeat becomes pair-of-pairs.
+        ds = PathDataset([[1, 2, 3, 4]] * 6)
+        codec = RePairCodec().fit(ds)
+        assert codec.max_expansion_depth() >= 2
+        assert len(codec.compress_path((1, 2, 3, 4))) == 1
+
+    def test_max_rules_cap(self):
+        ds = PathDataset([[i, i + 1, i + 2] for i in range(0, 60, 3)] * 3)
+        codec = RePairCodec(max_rules=5).fit(ds)
+        assert len(codec.rules) <= 5
+
+    def test_stops_below_min_frequency(self):
+        ds = PathDataset([[1, 2], [3, 4], [5, 6]])  # every pair unique
+        codec = RePairCodec().fit(ds)
+        assert codec.rules == []
+
+    def test_deterministic(self):
+        ds = PathDataset([[1, 2, 3, 4, 5]] * 4 + [[2, 3, 4]] * 4)
+        a = RePairCodec().fit(ds)
+        b = RePairCodec().fit(ds)
+        assert a.rules == b.rules
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RePairCodec(max_rules=0)
+        with pytest.raises(ValueError):
+            RePairCodec(min_frequency=1)
+
+    def test_unfitted_refuses(self):
+        with pytest.raises(NotFittedError):
+            RePairCodec().compress_path((1, 2))
+
+
+class TestRoundtrip:
+    @pytest.fixture()
+    def codec(self):
+        ds = PathDataset([[1, 2, 3, 4, 5, 6]] * 8 + [[9, 2, 3, 4, 8]] * 5)
+        return RePairCodec().fit(ds)
+
+    def test_training_paths(self, codec):
+        for path in ((1, 2, 3, 4, 5, 6), (9, 2, 3, 4, 8)):
+            assert codec.decompress_path(codec.compress_path(path)) == path
+
+    def test_unseen_path(self, codec):
+        unseen = (6, 5, 4, 3, 2, 1)
+        assert codec.decompress_path(codec.compress_path(unseen)) == unseen
+
+    def test_id_collision_detected(self, codec):
+        with pytest.raises(TableError, match="collides"):
+            codec.compress_path((codec.base_id,))
+
+    def test_explicit_base_id(self):
+        ds = PathDataset([[1, 2, 3]] * 4)
+        codec = RePairCodec(base_id=1000).fit(ds)
+        high = (999, 1, 2, 3)
+        assert codec.decompress_path(codec.compress_path(high)) == high
+
+    def test_rule_sizes(self, codec):
+        assert codec.rule_size_bytes() > 0
+        token = codec.compress_path((1, 2, 3, 4, 5, 6))
+        assert codec.compressed_size_bytes(token) > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(0, 30), min_size=1, max_size=15),
+        min_size=1, max_size=20,
+    )
+)
+def test_repair_roundtrip_property(paths):
+    ds = PathDataset(paths)
+    codec = RePairCodec(max_rules=64).fit(ds)
+    for path in ds:
+        assert codec.decompress_path(codec.compress_path(path)) == path
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.lists(st.integers(0, 20), min_size=2, max_size=10), min_size=1, max_size=10),
+    st.lists(st.integers(0, 20), min_size=1, max_size=12),
+)
+def test_repair_roundtrips_unseen_paths(training, unseen):
+    codec = RePairCodec(max_rules=32, base_id=21).fit(PathDataset(training))
+    assert codec.decompress_path(codec.compress_path(tuple(unseen))) == tuple(unseen)

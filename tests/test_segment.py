@@ -1,0 +1,144 @@
+"""Unit tests for the segmented archive."""
+
+import pytest
+
+from repro.core.config import OFFSConfig
+from repro.core.errors import CorruptDataError, PathIdError
+from repro.core.segment import SegmentedArchive
+
+
+CFG = OFFSConfig(iterations=3, sample_exponent=0)
+
+
+def day(prefix: int, count: int = 20):
+    """A day's traffic: one hot route with per-day machines."""
+    hot = [prefix + i for i in range(5)]
+    return [tuple([9, *hot, 8])] * count + [tuple([7, *hot])] * (count // 2)
+
+
+@pytest.fixture()
+def archive():
+    archive = SegmentedArchive(config=CFG, base_id=100_000)
+    day1, day2 = day(100), day(200)
+    archive.start_segment(day1)
+    archive.extend(day1)
+    archive.rotate(day2)
+    archive.extend(day2)
+    return archive, day1, day2
+
+
+class TestIngest:
+    def test_append_before_segment_fails(self):
+        archive = SegmentedArchive(config=CFG)
+        with pytest.raises(RuntimeError, match="start_segment"):
+            archive.append((1, 2, 3))
+
+    def test_segment_needs_training_data(self):
+        archive = SegmentedArchive(config=CFG)
+        with pytest.raises(ValueError):
+            archive.start_segment([])
+
+    def test_global_ids_are_dense(self, archive):
+        arc, day1, day2 = archive
+        assert len(arc) == len(day1) + len(day2)
+        assert arc.segment_count == 2
+
+    def test_each_segment_has_its_own_table(self, archive):
+        arc, _, _ = archive
+        tables = [s.table for s in arc.segments()]
+        assert tables[0].subpaths != tables[1].subpaths
+
+
+class TestRetrieval:
+    def test_cross_segment_retrieval(self, archive):
+        arc, day1, day2 = archive
+        assert arc.retrieve(0) == day1[0]
+        assert arc.retrieve(len(day1)) == day2[0]
+        assert arc.retrieve(len(arc) - 1) == day2[-1]
+
+    def test_retrieve_all_in_order(self, archive):
+        arc, day1, day2 = archive
+        assert arc.retrieve_all() == list(day1) + list(day2)
+
+    def test_retrieve_many(self, archive):
+        arc, day1, day2 = archive
+        ids = [len(day1), 0]
+        assert arc.retrieve_many(ids) == [day2[0], day1[0]]
+
+    def test_unknown_id(self, archive):
+        arc, _, _ = archive
+        with pytest.raises(PathIdError):
+            arc.retrieve(len(arc))
+
+    def test_empty_archive(self):
+        arc = SegmentedArchive(config=CFG)
+        assert len(arc) == 0
+        assert arc.retrieve_all() == []
+        assert arc.compression_ratio() == 0.0
+
+
+class TestQueries:
+    def test_case1_across_segments(self, archive):
+        arc, day1, day2 = archive
+        # Vertex 9 leads paths in both days.
+        ids = arc.paths_containing(9)
+        expected = [i for i, p in enumerate(list(day1) + list(day2)) if 9 in p]
+        assert ids == expected
+
+    def test_case2_across_segments(self, archive):
+        arc, day1, day2 = archive
+        matches = arc.paths_between(9, 8)
+        expected = [p for p in list(day1) + list(day2) if p[0] == 9 and p[-1] == 8]
+        assert matches == expected
+
+    def test_affected_vertices(self, archive):
+        arc, day1, day2 = archive
+        affected = arc.affected_vertices(9)
+        brute = set()
+        for p in list(day1) + list(day2):
+            if 9 in p:
+                brute.update(p)
+        brute.discard(9)
+        assert affected == brute
+
+
+class TestSizes:
+    def test_compresses(self, archive):
+        arc, _, _ = archive
+        assert arc.compression_ratio() > 1.0
+
+    def test_sizes_sum_over_segments(self, archive):
+        arc, _, _ = archive
+        assert arc.compressed_size_bytes() == sum(
+            s.compressed_size_bytes() for s in arc.segments()
+        )
+
+
+class TestSerialization:
+    def test_roundtrip(self, archive):
+        arc, day1, day2 = archive
+        restored = SegmentedArchive.loads(arc.dumps(), config=CFG)
+        assert restored.segment_count == 2
+        assert restored.retrieve_all() == arc.retrieve_all()
+        assert restored.base_id == arc.base_id
+
+    def test_restored_archive_accepts_appends(self, archive):
+        arc, _, day2 = archive
+        restored = SegmentedArchive.loads(arc.dumps(), config=CFG)
+        new_id = restored.append(day2[0])
+        assert restored.retrieve(new_id) == day2[0]
+
+    def test_bad_magic(self, archive):
+        arc, _, _ = archive
+        with pytest.raises(CorruptDataError, match="magic"):
+            SegmentedArchive.loads(b"XXXX" + arc.dumps()[4:])
+
+    def test_truncated(self, archive):
+        arc, _, _ = archive
+        with pytest.raises(CorruptDataError):
+            SegmentedArchive.loads(arc.dumps()[:-5])
+
+    def test_trailing_garbage(self, archive):
+        arc, _, _ = archive
+        with pytest.raises(CorruptDataError, match="trailing"):
+            SegmentedArchive.loads(arc.dumps() + b"\x00")

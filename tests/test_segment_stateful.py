@@ -1,0 +1,64 @@
+"""Stateful property testing of the segmented archive.
+
+Random interleavings of rotations, appends, retrievals and
+serialize/reload, checked against a flat-list model — global path ids must
+stay stable across segment boundaries and reload.
+"""
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core.config import OFFSConfig
+from repro.core.segment import SegmentedArchive
+
+CFG = OFFSConfig(iterations=2, sample_exponent=0, capacity=64)
+
+path_strategy = st.lists(
+    st.integers(min_value=0, max_value=60), min_size=2, max_size=8
+).map(tuple)
+
+
+class SegmentMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.archive = SegmentedArchive(config=CFG, base_id=1000)
+        self.archive.start_segment([(1, 2, 3)])
+        self.model = []
+
+    @rule(path=path_strategy)
+    def append(self, path):
+        gid = self.archive.append(path)
+        self.model.append(path)
+        assert gid == len(self.model) - 1
+
+    @rule(training=st.lists(path_strategy, min_size=1, max_size=5))
+    def rotate(self, training):
+        self.archive.rotate(training)
+
+    @rule(data=st.data())
+    def retrieve(self, data):
+        if not self.model:
+            return
+        gid = data.draw(st.integers(0, len(self.model) - 1))
+        assert self.archive.retrieve(gid) == self.model[gid]
+
+    @rule(vertex=st.integers(0, 60))
+    def case1_agrees(self, vertex):
+        expected = [i for i, p in enumerate(self.model) if vertex in p]
+        assert self.archive.paths_containing(vertex) == expected
+
+    @rule()
+    def serialize_roundtrip(self):
+        restored = SegmentedArchive.loads(self.archive.dumps(), config=CFG)
+        assert restored.retrieve_all() == self.model
+        assert restored.segment_count == self.archive.segment_count
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.archive) == len(self.model)
+
+
+SegmentMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=15, deadline=None
+)
+TestSegmentStateful = SegmentMachine.TestCase

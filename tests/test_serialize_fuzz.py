@@ -1,0 +1,90 @@
+"""Corruption-robustness tests for the archive format.
+
+An archive that decodes corrupted bytes into *wrong paths* is worse than one
+that refuses: the applications built on it (anomaly blast-radius queries)
+would silently act on fabricated routes.  The CRC32 in the store blob makes
+the guarantee absolute; these tests earn it:
+
+* every single-byte flip anywhere in a store blob raises
+  :class:`CorruptDataError` — never a wrong answer, never a stray
+  exception type;
+* truncation at every length raises cleanly;
+* random garbage raises cleanly.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import OFFSConfig
+from repro.core.errors import CorruptDataError
+from repro.core.offs import OFFSCodec
+from repro.core.serialize import dumps_store, loads_store, loads_table
+from repro.core.store import CompressedPathStore
+from repro.paths.dataset import PathDataset
+
+
+@pytest.fixture(scope="module")
+def blob() -> bytes:
+    ds = PathDataset([[1, 2, 3, 4, 5]] * 12 + [[9, 2, 3, 4]] * 6)
+    codec = OFFSCodec(OFFSConfig(iterations=3, sample_exponent=0))
+    store = CompressedPathStore.from_codec(ds, codec)
+    return dumps_store(store)
+
+
+class TestByteFlips:
+    def test_every_single_byte_flip_is_detected(self, blob):
+        for position in range(len(blob)):
+            corrupted = bytearray(blob)
+            corrupted[position] ^= 0xFF
+            with pytest.raises(CorruptDataError):
+                loads_store(bytes(corrupted))
+
+    def test_every_single_bit_flip_in_header_is_detected(self, blob):
+        for position in range(9):  # magic + version + crc
+            for bit in range(8):
+                corrupted = bytearray(blob)
+                corrupted[position] ^= 1 << bit
+                with pytest.raises(CorruptDataError):
+                    loads_store(bytes(corrupted))
+
+
+class TestTruncation:
+    def test_every_truncation_is_detected(self, blob):
+        for length in range(len(blob)):
+            with pytest.raises(CorruptDataError):
+                loads_store(blob[:length])
+
+
+class TestGarbage:
+    @settings(max_examples=50)
+    @given(st.binary(max_size=200))
+    def test_random_bytes_never_crash_unexpectedly(self, data):
+        try:
+            loads_store(data)
+        except CorruptDataError:
+            pass  # the only acceptable failure mode
+
+    @settings(max_examples=50)
+    @given(st.binary(max_size=200))
+    def test_table_loader_rejects_garbage_cleanly(self, data):
+        try:
+            loads_table(data)
+        except CorruptDataError:
+            pass
+
+    def test_shuffled_blob_detected(self, blob):
+        rng = random.Random(0)
+        shuffled = bytearray(blob)
+        body = list(shuffled[9:])
+        rng.shuffle(body)
+        shuffled[9:] = bytes(body)
+        with pytest.raises(CorruptDataError):
+            loads_store(bytes(shuffled))
+
+
+class TestIntactBlobStillLoads:
+    def test_control(self, blob):
+        store = loads_store(blob)
+        assert len(store) == 18

@@ -1,0 +1,128 @@
+"""Unit and property tests for subpath search over compressed archives."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import OFFSConfig
+from repro.core.offs import OFFSCodec
+from repro.core.store import CompressedPathStore
+from repro.queries.subpath_search import SubpathSearcher, token_contains_subpath
+from repro.workloads.registry import make_dataset
+
+
+def brute_force_ids(dataset, query):
+    q = tuple(query)
+    hits = []
+    for i, path in enumerate(dataset):
+        if any(tuple(path[j : j + len(q)]) == q for j in range(len(path) - len(q) + 1)):
+            hits.append(i)
+    return hits
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = make_dataset("sanfrancisco", "tiny")
+    codec = OFFSCodec(OFFSConfig(iterations=3, sample_exponent=0))
+    store = CompressedPathStore.from_codec(dataset, codec)
+    return dataset, store, SubpathSearcher(store)
+
+
+class TestTokenMatching:
+    def test_match_inside_supernode(self, setup):
+        dataset, store, _ = setup
+        table = store.table
+        # Any table entry's interior pair must be found inside its own use.
+        sid, subpath = next(iter(table))
+        token = (sid,)
+        assert token_contains_subpath(token, table, subpath[1:3])
+
+    def test_match_across_supernode_boundary(self, setup):
+        _, store, _ = setup
+        table = store.table
+        # Find a real token with a supernode followed by anything.
+        for token in store.tokens():
+            for i, symbol in enumerate(token[:-1]):
+                if symbol >= table.base_id:
+                    tail = table.expand(symbol)[-1]
+                    nxt = token[i + 1]
+                    nxt_head = table.expand(nxt)[0] if nxt >= table.base_id else nxt
+                    assert token_contains_subpath(token, table, (tail, nxt_head))
+                    return
+        pytest.skip("no supernode-adjacent token in this table")
+
+    def test_empty_query_matches(self, setup):
+        _, store, _ = setup
+        assert token_contains_subpath(store.token(0), store.table, ())
+
+    def test_no_match(self, setup):
+        _, store, _ = setup
+        assert not token_contains_subpath(store.token(0), store.table, (10**9, 10**9 + 1))
+
+
+class TestSearcher:
+    @pytest.mark.parametrize("probe_path, start, length", [
+        (0, 0, 2), (1, 1, 3), (5, 2, 4), (9, 0, 5),
+    ])
+    def test_matches_brute_force(self, setup, probe_path, start, length):
+        dataset, _, searcher = setup
+        path = dataset[probe_path]
+        if start + length > len(path):
+            pytest.skip("probe outside path")
+        query = tuple(path[start : start + length])
+        assert searcher.search_ids(query) == brute_force_ids(dataset, query)
+
+    def test_single_vertex_query(self, setup):
+        dataset, _, searcher = setup
+        v = dataset[3][0]
+        expected = [i for i, p in enumerate(dataset) if v in p]
+        assert searcher.search_ids((v,)) == expected
+
+    def test_absent_subpath(self, setup):
+        _, _, searcher = setup
+        assert searcher.search_ids((10**9, 10**9 + 1)) == []
+
+    def test_order_matters(self, setup):
+        dataset, _, searcher = setup
+        path = dataset[0]
+        forward = tuple(path[0:3])
+        backward = tuple(reversed(forward))
+        assert searcher.search_ids(forward) == brute_force_ids(dataset, forward)
+        assert searcher.search_ids(backward) == brute_force_ids(dataset, backward)
+
+    def test_search_returns_decompressed_paths(self, setup):
+        dataset, _, searcher = setup
+        query = tuple(dataset[2][1:4])
+        for path in searcher.search(query):
+            assert any(
+                tuple(path[j : j + len(query)]) == query
+                for j in range(len(path) - len(query) + 1)
+            )
+
+    def test_count(self, setup):
+        dataset, _, searcher = setup
+        query = tuple(dataset[0][0:2])
+        assert searcher.count(query) == len(brute_force_ids(dataset, query))
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_search_equals_brute_force_property(data):
+    from repro.paths.dataset import PathDataset
+
+    paths = data.draw(
+        st.lists(
+            st.lists(st.integers(0, 15), min_size=2, max_size=10, unique=True),
+            min_size=2, max_size=15,
+        )
+    )
+    dataset = PathDataset(paths)
+    codec = OFFSCodec(OFFSConfig(iterations=2, sample_exponent=0))
+    store = CompressedPathStore.from_codec(dataset, codec)
+    searcher = SubpathSearcher(store)
+    # Query: a random slice of a random path.
+    host = data.draw(st.sampled_from(paths))
+    if len(host) >= 2:
+        start = data.draw(st.integers(0, len(host) - 2))
+        length = data.draw(st.integers(2, len(host) - start))
+        query = tuple(host[start : start + length])
+        assert searcher.search_ids(query) == brute_force_ids(dataset, query)

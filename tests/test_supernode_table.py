@@ -1,0 +1,97 @@
+"""Unit tests for the supernode table (the rule R)."""
+
+import pytest
+
+from repro.core.errors import TableError
+from repro.core.supernode_table import SupernodeTable
+
+
+class TestConstruction:
+    def test_ids_contiguous_from_base(self):
+        table = SupernodeTable(100, [(1, 2), (3, 4, 5)])
+        assert table.expand(100) == (1, 2)
+        assert table.expand(101) == (3, 4, 5)
+
+    def test_readd_returns_existing_id(self):
+        table = SupernodeTable(100)
+        first = table.add((1, 2))
+        assert table.add((1, 2)) == first
+        assert len(table) == 1
+
+    def test_single_vertex_rejected(self):
+        with pytest.raises(TableError):
+            SupernodeTable(100, [(1,)])
+
+    def test_vertex_colliding_with_id_space_rejected(self):
+        with pytest.raises(TableError, match="collides"):
+            SupernodeTable(100, [(99, 100)])
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(TableError):
+            SupernodeTable(100, [(-1, 2)])
+
+    def test_bad_base_id_rejected(self):
+        with pytest.raises(TableError):
+            SupernodeTable(0)
+
+
+class TestLookups:
+    @pytest.fixture()
+    def table(self):
+        return SupernodeTable(50, [(1, 2, 3), (4, 5)])
+
+    def test_is_supernode(self, table):
+        assert table.is_supernode(50)
+        assert table.is_supernode(51)
+        assert not table.is_supernode(49)
+
+    def test_id_of(self, table):
+        assert table.id_of((1, 2, 3)) == 50
+        assert table.id_of([4, 5]) == 51
+
+    def test_id_of_missing_raises(self, table):
+        with pytest.raises(TableError):
+            table.id_of((9, 9))
+
+    def test_get_id_missing_returns_none(self, table):
+        assert table.get_id((9, 9)) is None
+
+    def test_expand_unknown_raises(self, table):
+        with pytest.raises(TableError):
+            table.expand(99)
+
+    def test_contains(self, table):
+        assert (4, 5) in table
+        assert (5, 4) not in table
+
+    def test_iteration(self, table):
+        assert dict(table) == {50: (1, 2, 3), 51: (4, 5)}
+
+    def test_max_subpath_length(self, table):
+        assert table.max_subpath_length == 3
+
+    def test_subpaths_in_id_order(self, table):
+        assert table.subpaths == [(1, 2, 3), (4, 5)]
+
+    def test_inverted_view(self, table):
+        assert table.inverted() == {(1, 2, 3): 50, (4, 5): 51}
+
+    def test_equality(self, table):
+        assert table == SupernodeTable(50, [(1, 2, 3), (4, 5)])
+        assert table != SupernodeTable(51, [(1, 2, 3), (4, 5)])
+
+
+class TestInvariants:
+    def test_validate_accepts_fresh_table(self):
+        SupernodeTable(10, [(1, 2), (3, 4)]).validate()
+
+    def test_validate_catches_tampering(self):
+        table = SupernodeTable(10, [(1, 2)])
+        table._by_id[11] = (3, 4)  # corrupt on purpose
+        with pytest.raises(TableError):
+            table.validate()
+
+    def test_rule_symbol_count(self):
+        table = SupernodeTable(10, [(1, 2), (3, 4, 5)])
+        # 2 + 1 marker + 3 + 1 marker
+        assert table.rule_symbol_count() == 7

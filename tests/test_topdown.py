@@ -1,0 +1,105 @@
+"""Unit tests for the hybrid top-down refinement (§IV-D optimization (1))."""
+
+import pytest
+
+from repro.core.builder import TableBuilder
+from repro.core.config import OFFSConfig
+from repro.core.offs import OFFSCodec
+from repro.core.topdown import TopDownRefiner
+from repro.paths.dataset import PathDataset
+
+
+def unique_affix_dataset(count: int = 30):
+    """Unique paths sharing a hot interior — bottom-up's worst case."""
+    hot = [10, 11, 12, 13, 14, 15]
+    return PathDataset([[100 + i, *hot, 200 + i] for i in range(count)])
+
+
+class TestCutOnce:
+    def test_cuts_the_rarer_end(self):
+        refiner = TopDownRefiner()
+        edges = {(1, 2): 10, (3, 4): 1}
+        # Tail edge (3,4) is rarer -> drop the last vertex.
+        assert refiner.cut_once((1, 2, 3, 4), edges) == (1, 2, 3)
+
+    def test_cuts_head_on_tie(self):
+        refiner = TopDownRefiner()
+        edges = {(1, 2): 5, (3, 4): 5}
+        assert refiner.cut_once((1, 2, 3, 4), edges) == (2, 3, 4)
+
+    def test_unknown_edges_count_zero(self):
+        refiner = TopDownRefiner()
+        assert refiner.cut_once((9, 8, 7), {(8, 7): 3}) == (8, 7)
+
+    def test_edge_frequencies(self):
+        counts = TopDownRefiner.edge_frequencies([(1, 2, 3), (2, 3)])
+        assert counts == {(1, 2): 1, (2, 3): 2}
+
+    def test_min_length_validated(self):
+        with pytest.raises(ValueError):
+            TopDownRefiner(min_length=1)
+
+
+class TestRefinement:
+    def test_rescues_degenerate_workload(self):
+        """Bottom-up alone finalizes empty; the hybrid recovers the core."""
+        ds = unique_affix_dataset()
+        plain = OFFSCodec(OFFSConfig(iterations=4, sample_exponent=0)).fit(ds)
+        hybrid = OFFSCodec(
+            OFFSConfig(iterations=4, sample_exponent=0, topdown_rounds=3)
+        ).fit(ds)
+        assert len(plain.table) == 0
+        assert len(hybrid.table) >= 1
+        # Every surviving entry is a fragment of the hot interior.
+        hot = tuple(range(10, 16))
+        for subpath in hybrid.table.subpaths:
+            assert any(hot[i : i + len(subpath)] == subpath for i in range(len(hot)))
+
+    def test_hybrid_compresses_strictly_better_here(self):
+        ds = unique_affix_dataset()
+        plain = OFFSCodec(OFFSConfig(iterations=4, sample_exponent=0)).fit(ds)
+        hybrid = OFFSCodec(
+            OFFSConfig(iterations=4, sample_exponent=0, topdown_rounds=3)
+        ).fit(ds)
+        path = tuple(ds[0])
+        assert len(hybrid.compress_path(path)) < len(plain.compress_path(path))
+
+    def test_roundtrip_still_lossless(self):
+        ds = unique_affix_dataset()
+        codec = OFFSCodec(
+            OFFSConfig(iterations=4, sample_exponent=0, topdown_rounds=2)
+        ).fit(ds)
+        for path in ds:
+            assert codec.decompress_path(codec.compress_path(path)) == path
+
+    def test_report_records_trims(self):
+        ds = unique_affix_dataset()
+        codec = OFFSCodec(
+            OFFSConfig(iterations=4, sample_exponent=0, topdown_rounds=3)
+        ).fit(ds)
+        assert codec.build_report.topdown_trims
+        assert all(t > 0 for t in codec.build_report.topdown_trims)
+
+    def test_noop_when_nothing_weak(self):
+        # Fully repeated data: all candidates are strong; refine exits early.
+        ds = PathDataset([[1, 2, 3, 4]] * 10)
+        builder = TableBuilder(OFFSConfig(iterations=3, sample_exponent=0))
+        cands = builder.initialize(list(ds))
+        for it in (1, 2, 3):
+            builder.run_iteration(cands, list(ds), it, 10_000)
+        before = dict(cands.items())
+        strong_before = {seq for seq, w in before.items() if w >= 2}
+        TopDownRefiner().refine(cands, list(ds), builder, 10_000, rounds=2)
+        strong_after = {seq for seq, w in cands.items() if w >= 2}
+        assert strong_before == strong_after
+
+    def test_zero_rounds_is_off(self):
+        ds = unique_affix_dataset()
+        codec = OFFSCodec(
+            OFFSConfig(iterations=4, sample_exponent=0, topdown_rounds=0)
+        ).fit(ds)
+        assert codec.build_report.topdown_trims == []
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(Exception):
+            OFFSConfig(topdown_rounds=-1)

@@ -1,0 +1,72 @@
+"""Unit tests for GPS trajectory recording and grid snapping."""
+
+import random
+
+import pytest
+
+from repro.graphs.road import RoadNetwork
+from repro.graphs.trajectory import TrajectoryRecorder, snap_to_grid
+from repro.paths.preprocess import preprocess_paths
+
+
+class TestSnapToGrid:
+    def test_cell_centres_snap_to_their_cell(self):
+        # Centre of (row=2, col=3) with width 10 -> id 23.
+        assert snap_to_grid([(3.5, 2.5)], 1.0, 10) == [23]
+
+    def test_clamps_to_grid(self):
+        assert snap_to_grid([(-1.0, 0.5)], 1.0, 10) == [0]
+        assert snap_to_grid([(99.0, 0.5)], 1.0, 10) == [9]
+
+    def test_cell_size_scales(self):
+        assert snap_to_grid([(10.0, 20.0)], 10.0, 100) == [2 * 100 + 1]
+
+    def test_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            snap_to_grid([(0, 0)], 0.0, 10)
+
+
+class TestRecorder:
+    @pytest.fixture()
+    def net(self):
+        return RoadNetwork(width=10, height=10, hotspots=5, seed=1)
+
+    def test_noiseless_recording_snaps_back_to_route(self, net):
+        recorder = TrajectoryRecorder(net, fixes_per_cell=(1, 1), jitter=0.0,
+                                      backtrack_probability=0.0)
+        route = net.route((0, 0), (4, 4))
+        points = recorder.record(route, random.Random(0))
+        assert snap_to_grid(points, 1.0, net.width) == list(route)
+
+    def test_multiple_fixes_create_adjacent_duplicates(self, net):
+        recorder = TrajectoryRecorder(net, fixes_per_cell=(2, 3), jitter=0.0,
+                                      backtrack_probability=0.0)
+        route = net.route((0, 0), (2, 2))
+        snapped = snap_to_grid(recorder.record(route, random.Random(0)), 1.0, net.width)
+        assert len(snapped) > len(route)  # duplicates present
+        deduped = [v for i, v in enumerate(snapped) if i == 0 or snapped[i - 1] != v]
+        assert deduped == list(route)
+
+    def test_backtracking_creates_loops(self, net):
+        recorder = TrajectoryRecorder(net, fixes_per_cell=(1, 1), jitter=0.0,
+                                      backtrack_probability=1.0)
+        route = net.route((0, 0), (0, 5))
+        snapped = snap_to_grid(recorder.record(route, random.Random(0)), 1.0, net.width)
+        assert len(set(snapped)) < len(snapped)  # some vertex recurs
+
+    def test_record_dataset_feeds_preprocessing(self, net):
+        recorder = TrajectoryRecorder(net)
+        walks = recorder.record_dataset(20, seed=3)
+        assert len(walks) == 20
+        ds, report = preprocess_paths(walks, name="gps")
+        assert len(ds) > 0
+        for path in ds:
+            assert len(set(path)) == len(path) and len(path) >= 3
+
+    def test_validation(self, net):
+        with pytest.raises(ValueError):
+            TrajectoryRecorder(net, fixes_per_cell=(0, 1))
+        with pytest.raises(ValueError):
+            TrajectoryRecorder(net, jitter=-0.1)
+        with pytest.raises(ValueError):
+            TrajectoryRecorder(net, backtrack_probability=1.5)
