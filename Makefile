@@ -1,12 +1,18 @@
 # Convenience targets for the OFFS reproduction.
 
-.PHONY: install test bench bench-quick examples experiments clean
+.PHONY: install test lint bench bench-quick examples experiments clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# Dependency-free lint: byte-compile every tree (catches syntax errors)
+# and import the public packages (catches broken imports / circulars).
+lint:
+	python -m compileall -q src tests benchmarks examples
+	PYTHONPATH=src python -c "import repro, repro.obs, repro.cli, repro.bench.runner"
 
 bench:
 	pytest benchmarks/ --benchmark-only

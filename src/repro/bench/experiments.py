@@ -285,19 +285,39 @@ def exp_ablation_matchers(
     """A1: matcher backends — flat hash vs two-level hash vs trie.
 
     All three produce identical tables and tokens (checked); they differ in
-    probe cost (Lemma 3 / §IV-D).
+    probe cost (Lemma 3 / §IV-D), reported here from the backends' own
+    :class:`~repro.core.probestats.ProbeStats` counters over a fixed batch.
     """
+    from repro.core.compressor import compress_dataset
+    from repro.core.matcher import static_matcher_from_table
+
     dataset = make_dataset(dataset_name, config.size, config.seed)
-    rows: Rows = [("matcher", "CR", "fit (s)", "compress (s)")]
+    rows: Rows = [
+        ("matcher", "CR", "fit (s)", "compress (s)", "probes", "hashed vertices")
+    ]
     crs: List[float] = []
     token_sets = []
+    probe_batch = list(dataset.head(200))
     for backend in ("hash", "multilevel", "trie"):
         codec = OFFSCodec(config.offs_config(matcher=backend))
         m = measure_codec(codec, dataset)
         crs.append(m.compression_ratio)
         token_sets.append(tuple(codec.compress_dataset(dataset.head(50))))
+        # Probe-cost accounting over one batch: zero the backend's counters
+        # with the public reset() (never by re-instantiating the stats
+        # object), compress the batch, read the totals.
+        matcher = static_matcher_from_table(codec.table, backend)
+        matcher.stats.reset()
+        compress_dataset(probe_batch, codec.table, matcher)
         rows.append(
-            (backend, round(m.compression_ratio, 3), round(m.fit_seconds, 3), round(m.compress_seconds, 3))
+            (
+                backend,
+                round(m.compression_ratio, 3),
+                round(m.fit_seconds, 3),
+                round(m.compress_seconds, 3),
+                matcher.stats.probes,
+                matcher.stats.hashed_vertices,
+            )
         )
     shape = {
         "results_identical": float(len(set(token_sets)) == 1 and len(set(round(c, 9) for c in crs)) == 1),

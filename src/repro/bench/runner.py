@@ -12,6 +12,7 @@ the full harness.
     python -m repro.bench --size small        # quick pass
     python -m repro.bench --only fig5 fig6    # subset by prefix
     python -m repro.bench --out report.txt    # also write to a file
+    python -m repro.bench --metrics m.json    # run under repro.obs, dump JSON
 """
 
 from __future__ import annotations
@@ -98,6 +99,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--only", nargs="*", default=None, metavar="PREFIX",
                         help="run only experiments whose name starts with a prefix")
     parser.add_argument("--out", default=None, help="also write the report here")
+    parser.add_argument("--metrics", default=None, metavar="OUT.json",
+                        help="run under repro.obs instrumentation and write "
+                             "the metrics/span snapshot to this JSON file")
     parser.add_argument("--list", action="store_true", help="list experiment names")
     args = parser.parse_args(argv)
 
@@ -111,7 +115,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     sample_exponent = {"tiny": 0, "small": 2, "medium": 4}[args.size]
     config = BenchConfig(size=args.size, sample_exponent=sample_exponent)
-    sections = run_experiments(config, only=args.only)
+    if args.metrics:
+        from repro.obs import instrumented, write_json
+
+        with instrumented() as obs:
+            sections = run_experiments(config, only=args.only)
+        write_json(obs, args.metrics)
+        print(f"metrics -> {args.metrics}", file=sys.stderr)
+    else:
+        sections = run_experiments(config, only=args.only)
     if not sections:
         print("no experiments matched", file=sys.stderr)
         return 1

@@ -16,6 +16,12 @@ The operational surface a deployment needs, over the text/binary formats of
 * ``python -m repro tune IN.paths`` — Exp-1-style (i, k) selection.
 * ``python -m repro compare IN.paths`` — Fig. 5-style codec comparison.
 
+``compress``, ``decompress`` and ``compare`` accept ``--metrics OUT.json``:
+the run executes under :mod:`repro.obs` instrumentation and its snapshot —
+span tree (builder iterations, ingest phases), counters (matcher probes,
+symbols in/out) and gauges (store byte totals) — is written as JSON.
+Without the flag instrumentation stays inactive and costs nothing.
+
 Every command prints plain text suitable for shell pipelines; errors exit
 non-zero with a one-line message on stderr.
 """
@@ -24,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import List, Optional
 
 from repro.analysis.stats import format_table
@@ -35,6 +42,30 @@ from repro.paths.io import load_text, save_text
 from repro.paths.dataset import PathDataset
 from repro.queries.analytics import compression_summary, hot_subpaths
 from repro.queries.retrieval import PathQueryEngine
+
+
+def _add_metrics_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics", metavar="OUT.json", default=None,
+                        help="run instrumented and write the obs snapshot "
+                             "(spans + counters + gauges) to this JSON file")
+
+
+def _metrics_scope(args: argparse.Namespace):
+    """An instrumentation scope honouring ``--metrics`` (no-op without it)."""
+    if getattr(args, "metrics", None) is None:
+        return nullcontext(None)
+    from repro.obs import instrumented
+
+    return instrumented()
+
+
+def _write_metrics(args: argparse.Namespace, obs) -> None:
+    if obs is None:
+        return
+    from repro.obs import write_json
+
+    write_json(obs, args.metrics)
+    print(f"metrics -> {args.metrics}", file=sys.stderr)
 
 
 def _add_offs_options(parser: argparse.ArgumentParser) -> None:
@@ -61,10 +92,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("input", help="text file, one space-separated path per line")
     p.add_argument("output", help="archive file to write")
     _add_offs_options(p)
+    _add_metrics_option(p)
 
     p = sub.add_parser("decompress", help="restore a text path file from an archive")
     p.add_argument("input", help="archive file")
     p.add_argument("output", help="text file to write")
+    _add_metrics_option(p)
 
     p = sub.add_parser("stats", help="archive statistics (no decompression)")
     p.add_argument("input", help="archive file")
@@ -112,6 +145,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="skip the (slow) Re-Pair comparator")
     p.add_argument("--sample-exponent", type=int, default=2,
                    help="construction sampling for the DICT codecs")
+    _add_metrics_option(p)
     return parser
 
 
@@ -130,22 +164,27 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         beta=args.beta,
         topdown_rounds=args.topdown_rounds,
     )
-    codec = OFFSCodec(config).fit(dataset)
-    store = CompressedPathStore.from_dataset(dataset, codec.table)
-    blob = dumps_store(store)
+    with _metrics_scope(args) as obs:
+        codec = OFFSCodec(config).fit(dataset)
+        store = CompressedPathStore.from_dataset(dataset, codec.table)
+        ratio = store.compression_ratio()
+        blob = dumps_store(store)
     with open(args.output, "wb") as fh:
         fh.write(blob)
     print(f"{len(store):,} paths -> {args.output} "
-          f"({len(blob):,} bytes, CR={store.compression_ratio():.2f}, "
+          f"({len(blob):,} bytes, CR={ratio:.2f}, "
           f"table={len(codec.table)} entries)")
+    _write_metrics(args, obs)
     return 0
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
     store = _load_store(args.input)
-    dataset = PathDataset(store.retrieve_all(), name=args.input)
+    with _metrics_scope(args) as obs:
+        dataset = PathDataset(store.retrieve_all(), name=args.input)
     save_text(dataset, args.output)
     print(f"{len(dataset):,} paths restored to {args.output}")
+    _write_metrics(args, obs)
     return 0
 
 
@@ -250,8 +289,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         sample_exponent=args.sample_exponent,
         include_repair=not args.no_repair,
     )
-    results = compare_codecs(dataset, roster)
+    with _metrics_scope(args) as obs:
+        results = compare_codecs(dataset, roster)
     print(format_table(comparison_rows(results), title=f"codecs on {args.input}"))
+    _write_metrics(args, obs)
     return 0
 
 

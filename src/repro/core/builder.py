@@ -43,6 +43,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.config import OFFSConfig
 from repro.core.matcher import CandidateSet, make_candidate_set
 from repro.core.supernode_table import SupernodeTable
+from repro.obs.runtime import active_span, get_active
 
 Subpath = Tuple[int, ...]
 
@@ -102,12 +103,15 @@ class TableBuilder:
 
     def initialize(self, paths: Sequence[Sequence[int]]) -> CandidateSet:
         """Stage 1: seed the candidate set with every distinct edge, weight 1."""
-        cands = make_candidate_set(self.config.matcher, alpha=self.config.alpha)
-        for path in paths:
-            for i in range(len(path) - 1):
-                edge = (path[i], path[i + 1])
-                if edge not in cands:
-                    cands.add(edge, 1)
+        with active_span("build.initialize") as span:
+            cands = make_candidate_set(self.config.matcher, alpha=self.config.alpha)
+            for path in paths:
+                for i in range(len(path) - 1):
+                    edge = (path[i], path[i + 1])
+                    if edge not in cands:
+                        cands.add(edge, 1)
+            if span is not None:
+                span.annotate(seed_candidates=len(cands))
         return cands
 
     def run_iteration(
@@ -131,41 +135,56 @@ class TableBuilder:
         before = len(cands)
         matches_counted = 0
 
-        cands.reset_weights()
-        for path in paths:
-            n = len(path)
-            if n < 2:
-                continue
-            # First match of the path (line 5).
-            length = cands.longest_match(path, 0, cap)
-            match: Subpath = tuple(path[0:length])
-            if length > 1:
-                cands.increment(match)
-                matches_counted += 1
-            pos = length
-            while pos < n:
-                pre = match
-                length = cands.longest_match(path, pos, cap)
-                match = tuple(path[pos : pos + length])
+        obs = get_active()
+        probes_before = cands.stats.snapshot() if obs is not None else None
+
+        with active_span("build.iteration", iteration=iteration, cap=cap) as span:
+            cands.reset_weights()
+            for path in paths:
+                n = len(path)
+                if n < 2:
+                    continue
+                # First match of the path (line 5).
+                length = cands.longest_match(path, 0, cap)
+                match: Subpath = tuple(path[0:length])
                 if length > 1:
                     cands.increment(match)
                     matches_counted += 1
-                if generate:
-                    # Merge (lines 10-13): concatenate, truncated to delta.
-                    # When pre already fills delta the truncation would
-                    # reproduce pre itself, which must not earn it a second
-                    # count.
-                    room = delta - len(pre)
-                    if room > 0:
-                        merged = pre + match[: min(len(match), room)]
-                        cands.add(merged)
-                    # Expansion (lines 14-15): pre plus the next vertex.
-                    # Skipped when the match is a single vertex because the
-                    # merge above already produced exactly that sequence.
-                    if length > 1 and len(pre) < delta:
-                        cands.add(pre + (path[pos],))
-                pos += length
-        pruned = cands.prune_to_top(lam)
+                pos = length
+                while pos < n:
+                    pre = match
+                    length = cands.longest_match(path, pos, cap)
+                    match = tuple(path[pos : pos + length])
+                    if length > 1:
+                        cands.increment(match)
+                        matches_counted += 1
+                    if generate:
+                        # Merge (lines 10-13): concatenate, truncated to delta.
+                        # When pre already fills delta the truncation would
+                        # reproduce pre itself, which must not earn it a second
+                        # count.
+                        room = delta - len(pre)
+                        if room > 0:
+                            merged = pre + match[: min(len(match), room)]
+                            cands.add(merged)
+                        # Expansion (lines 14-15): pre plus the next vertex.
+                        # Skipped when the match is a single vertex because the
+                        # merge above already produced exactly that sequence.
+                        if length > 1 and len(pre) < delta:
+                            cands.add(pre + (path[pos],))
+                    pos += length
+            pruned = cands.prune_to_top(lam)
+            if span is not None:
+                span.annotate(candidates_before=before, candidates_after=len(cands))
+                span.add("matches", matches_counted)
+                span.add("pruned", pruned)
+        if obs is not None:
+            registry = obs.registry
+            registry.counter("build.iterations").inc()
+            registry.counter("build.matches").inc(matches_counted)
+            registry.counter("build.candidates_pruned").inc(pruned)
+            cands.stats.delta_since(probes_before).publish(registry, "build.matcher")
+
         return IterationStats(
             iteration=iteration,
             cap=cap,
@@ -181,6 +200,10 @@ class TableBuilder:
 
         Returns the table and the number of candidates dropped.
         """
+        with active_span("build.finalize"):
+            return self._finalize(cands, base_id)
+
+    def _finalize(self, cands: CandidateSet, base_id: int) -> Tuple[SupernodeTable, int]:
         survivors = [
             (seq, w)
             for seq, w in cands.items()
@@ -209,49 +232,66 @@ class TableBuilder:
         started = time.perf_counter()
         report = BuildReport()
 
-        paths = list(dataset)
-        if base_id is None:
-            max_id = -1
-            for p in paths:
-                if p:
-                    m = max(p)
-                    if m > max_id:
-                        max_id = m
-            base_id = max_id + 1 if max_id >= 0 else 1
+        with active_span("build", matcher=self.config.matcher) as span:
+            paths = list(dataset)
+            if base_id is None:
+                max_id = -1
+                for p in paths:
+                    if p:
+                        m = max(p)
+                        if m > max_id:
+                            max_id = m
+                base_id = max_id + 1 if max_id >= 0 else 1
 
-        stride = self.config.sample_stride
-        sampled = paths[::stride] if stride > 1 else paths
-        report.sampled_paths = len(sampled)
-        report.sampled_nodes = sum(len(p) for p in sampled)
-        total_nodes = sum(len(p) for p in paths)
-        lam = self.config.lambda_for(total_nodes)
-        report.lambda_capacity = lam
+            stride = self.config.sample_stride
+            sampled = paths[::stride] if stride > 1 else paths
+            report.sampled_paths = len(sampled)
+            report.sampled_nodes = sum(len(p) for p in sampled)
+            total_nodes = sum(len(p) for p in paths)
+            lam = self.config.lambda_for(total_nodes)
+            report.lambda_capacity = lam
 
-        cands = self.initialize(sampled)
-        for it in range(1, self.config.iterations + 1):
-            report.iterations.append(self.run_iteration(cands, sampled, it, lam))
+            cands = self.initialize(sampled)
+            for it in range(1, self.config.iterations + 1):
+                report.iterations.append(self.run_iteration(cands, sampled, it, lam))
 
-        if self.config.topdown_rounds > 0:
-            from repro.core.topdown import TopDownRefiner
+            if self.config.topdown_rounds > 0:
+                from repro.core.topdown import TopDownRefiner
 
-            refiner = TopDownRefiner(min_weight=self.config.min_final_weight)
-            report.topdown_trims = refiner.refine(
-                cands, sampled, self, lam, rounds=self.config.topdown_rounds
-            )
+                refiner = TopDownRefiner(min_weight=self.config.min_final_weight)
+                report.topdown_trims = refiner.refine(
+                    cands, sampled, self, lam, rounds=self.config.topdown_rounds
+                )
 
-        if self.config.iterations == 0:
-            # Degenerate i=0 mode (the leftmost points of Fig. 4a-d): no
-            # refinement pass runs, so the table is just frequent edges.
-            # Count one non-generating pass to turn the existence weights
-            # into real frequencies for finalization to rank by.
-            report.iterations.append(
-                self.run_iteration(cands, sampled, 1, lam, generate=False)
-            )
+            if self.config.iterations == 0:
+                # Degenerate i=0 mode (the leftmost points of Fig. 4a-d): no
+                # refinement pass runs, so the table is just frequent edges.
+                # Count one non-generating pass to turn the existence weights
+                # into real frequencies for finalization to rank by.
+                report.iterations.append(
+                    self.run_iteration(cands, sampled, 1, lam, generate=False)
+                )
 
-        table, dropped = self.finalize(cands, base_id)
-        report.finalized_entries = len(table)
-        report.dropped_at_finalization = dropped
-        report.elapsed_seconds = time.perf_counter() - started
+            table, dropped = self.finalize(cands, base_id)
+            report.finalized_entries = len(table)
+            report.dropped_at_finalization = dropped
+            report.elapsed_seconds = time.perf_counter() - started
+            if span is not None:
+                span.annotate(
+                    sampled_paths=report.sampled_paths,
+                    lambda_capacity=lam,
+                    table_entries=len(table),
+                )
+
+        obs = get_active()
+        if obs is not None:
+            registry = obs.registry
+            registry.counter("build.sampled_paths").inc(report.sampled_paths)
+            registry.counter("build.sampled_nodes").inc(report.sampled_nodes)
+            registry.counter("build.dropped_at_finalization").inc(dropped)
+            registry.set_gauge("build.table_entries", len(table))
+            registry.set_gauge("build.lambda_capacity", lam)
+            registry.observe("build.seconds", report.elapsed_seconds)
         return table, report
 
 

@@ -20,6 +20,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from repro.core.errors import TableError
 from repro.core.matcher import CandidateSet, static_matcher_from_table
 from repro.core.supernode_table import SupernodeTable
+from repro.obs.runtime import get_active
 
 CompressedPath = Tuple[int, ...]
 
@@ -93,18 +94,71 @@ def compress_dataset(
     table: SupernodeTable,
     matcher: Optional[CandidateSet] = None,
 ) -> List[CompressedPath]:
-    """Compress every path in *paths*, sharing one static matcher."""
+    """Compress every path in *paths*, sharing one static matcher.
+
+    When :mod:`repro.obs` instrumentation is active, the batch is wrapped in
+    a ``compress`` span and accounted on the registry: paths and symbols in
+    and out, plus the matcher's probe-work delta (``matcher.probes`` /
+    ``matcher.hashed_vertices``).  The per-path inner loop is never touched
+    — with instrumentation off this is exactly a list comprehension.
+    """
     if matcher is None:
         matcher = static_matcher_from_table(table)
-    return [compress_path(p, table, matcher) for p in paths]
+    obs = get_active()
+    if obs is None:
+        return [compress_path(p, table, matcher) for p in paths]
+
+    probes_before = matcher.stats.snapshot()
+    with obs.tracer.span("compress") as span, obs.registry.timeit("compress.seconds"):
+        out: List[CompressedPath] = []
+        symbols_in = 0
+        for p in paths:
+            out.append(compress_path(p, table, matcher))
+            symbols_in += len(p)
+        symbols_out = sum(len(t) for t in out)
+        if span is not None:
+            span.add("paths", len(out))
+            span.add("symbols_in", symbols_in)
+            span.add("symbols_out", symbols_out)
+    registry = obs.registry
+    registry.counter("compress.paths").inc(len(out))
+    registry.counter("compress.symbols_in").inc(symbols_in)
+    registry.counter("compress.symbols_out").inc(symbols_out)
+    matcher.stats.delta_since(probes_before).publish(registry, "matcher")
+    return out
 
 
 def decompress_dataset(
     compressed_paths: Iterable[Sequence[int]],
     table: SupernodeTable,
 ) -> List[Tuple[int, ...]]:
-    """Decompress every compressed path in *compressed_paths*."""
-    return [decompress_path(c, table) for c in compressed_paths]
+    """Decompress every compressed path in *compressed_paths*.
+
+    Instrumented like :func:`compress_dataset` (a ``decompress`` span,
+    ``decompress.*`` counters) when the obs layer is active.
+    """
+    obs = get_active()
+    if obs is None:
+        return [decompress_path(c, table) for c in compressed_paths]
+
+    with obs.tracer.span("decompress") as span, obs.registry.timeit(
+        "decompress.seconds"
+    ):
+        out: List[Tuple[int, ...]] = []
+        symbols_in = 0
+        for c in compressed_paths:
+            out.append(decompress_path(c, table))
+            symbols_in += len(c)
+        symbols_out = sum(len(p) for p in out)
+        if span is not None:
+            span.add("paths", len(out))
+            span.add("symbols_in", symbols_in)
+            span.add("symbols_out", symbols_out)
+    registry = obs.registry
+    registry.counter("decompress.paths").inc(len(out))
+    registry.counter("decompress.symbols_in").inc(symbols_in)
+    registry.counter("decompress.symbols_out").inc(symbols_out)
+    return out
 
 
 def chunked(items: Sequence, chunk_size: int) -> Iterable[Sequence]:

@@ -35,7 +35,21 @@ class CandidateSet(ABC):
     length of the longest candidate that is a prefix of
     ``path[pos:pos + cap]``, or ``1`` when no candidate matches (the paper's
     convention: an unmatched position contributes the single vertex).
+
+    Every backend carries a :class:`~repro.core.probestats.ProbeStats` as
+    ``self.stats`` — the §IV-C work counters that :meth:`longest_match`
+    implementations must keep current in their own unit of work.  Reset it
+    with ``stats.reset()`` between measurement batches; the
+    :mod:`repro.obs` layer consumes it via snapshot/delta, never by
+    replacing the object.
     """
+
+    def __init__(self) -> None:
+        from repro.core.probestats import ProbeStats
+
+        #: Work counters for the §IV-C cost analysis (see
+        #: :mod:`repro.core.probestats`).
+        self.stats = ProbeStats()
 
     @abstractmethod
     def add(self, seq: Sequence[int], weight: int = 1) -> None:
@@ -128,13 +142,9 @@ class HashCandidates(CandidateSet):
     """
 
     def __init__(self) -> None:
-        from repro.core.probestats import ProbeStats
-
+        super().__init__()
         self._weights: Dict[Subpath, int] = {}
         self._max_len = 0
-        #: Work counters for the §IV-C cost analysis (see
-        #: :mod:`repro.core.probestats`).
-        self.stats = ProbeStats()
 
     def add(self, seq: Sequence[int], weight: int = 1) -> None:
         sp = tuple(seq)

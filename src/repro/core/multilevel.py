@@ -38,8 +38,7 @@ class MultiLevelCandidates(CandidateSet):
     """
 
     def __init__(self, alpha: int = 5, promote_prefixes: bool = False) -> None:
-        from repro.core.probestats import ProbeStats
-
+        super().__init__()
         if alpha < 1:
             raise ValueError("alpha must be >= 1")
         self.alpha = alpha
@@ -47,8 +46,6 @@ class MultiLevelCandidates(CandidateSet):
         self._h1: Dict[Subpath, int] = {}
         self._h2: Dict[Subpath, Dict[Subpath, int]] = {}
         self._max_len = 0
-        #: Work counters for the §IV-C cost analysis.
-        self.stats = ProbeStats()
 
     # -- CandidateSet interface -------------------------------------------------
 

@@ -16,36 +16,76 @@ Implementation notes:
   be realistic.
 * ``processes=1`` bypasses multiprocessing entirely — the sequential
   functions are the ground truth the tests compare against.
+
+Observability: when :mod:`repro.obs` instrumentation is active in the
+parent, each worker activates its own counters-only instrumentation at
+initializer time, resets it per chunk, and ships the chunk's metric
+snapshot back with the results; the parent folds every snapshot into its
+registry.  Counter totals therefore equal the sequential run's exactly
+(probe counts are pure per path), while worker timers pool into CPU-time
+style aggregates — see the differential test in
+``tests/test_parallel_differential.py``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.compressor import compress_path, decompress_path
+from repro.core.compressor import compress_dataset, decompress_dataset
 from repro.core.matcher import CandidateSet, static_matcher_from_table
 from repro.core.supernode_table import SupernodeTable
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runtime import Instrumentation, activate, get_active
+from repro.obs.spans import SpanTracer
 
 _worker_table: Optional[SupernodeTable] = None
 _worker_matcher: Optional[CandidateSet] = None
+_worker_registry: Optional[MetricsRegistry] = None
+
+_ChunkResult = Tuple[List[Tuple[int, ...]], Optional[Dict[str, Any]]]
 
 
-def _init_worker(base_id: int, subpaths: List[Tuple[int, ...]]) -> None:
-    """Rebuild the table and its matcher once per worker process."""
-    global _worker_table, _worker_matcher
+def _init_worker(
+    base_id: int, subpaths: List[Tuple[int, ...]], instrument: bool = False
+) -> None:
+    """Rebuild the table and its matcher once per worker process.
+
+    With *instrument*, the worker also activates a counters-only
+    instrumentation of its own: a forked child must never write into the
+    (copied) parent registry, whose counts would be lost with the process.
+    """
+    global _worker_table, _worker_matcher, _worker_registry
     _worker_table = SupernodeTable(base_id, subpaths)
     _worker_matcher = static_matcher_from_table(_worker_table)
+    if instrument:
+        _worker_registry = MetricsRegistry()
+        activate(Instrumentation(_worker_registry, SpanTracer(enabled=False)))
+    else:
+        _worker_registry = None
 
 
-def _compress_chunk(chunk: List[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
+def _chunk_metrics() -> Optional[Dict[str, Any]]:
+    """This chunk's metric snapshot (the registry is reset per chunk)."""
+    if _worker_registry is None:
+        return None
+    return _worker_registry.as_dict()
+
+
+def _compress_chunk(chunk: List[Tuple[int, ...]]) -> _ChunkResult:
     assert _worker_table is not None and _worker_matcher is not None
-    return [compress_path(p, _worker_table, _worker_matcher) for p in chunk]
+    if _worker_registry is not None:
+        _worker_registry.reset()
+    tokens = compress_dataset(chunk, _worker_table, _worker_matcher)
+    return tokens, _chunk_metrics()
 
 
-def _decompress_chunk(chunk: List[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
+def _decompress_chunk(chunk: List[Tuple[int, ...]]) -> _ChunkResult:
     assert _worker_table is not None
-    return [decompress_path(t, _worker_table) for t in chunk]
+    if _worker_registry is not None:
+        _worker_registry.reset()
+    paths = decompress_dataset(chunk, _worker_table)
+    return paths, _chunk_metrics()
 
 
 def _run_parallel(
@@ -63,16 +103,19 @@ def _run_parallel(
     chunks = [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
     if not chunks:
         return []
+    obs = get_active()
     ctx = multiprocessing.get_context("fork") if hasattr(multiprocessing, "get_context") else multiprocessing
     with ctx.Pool(
         processes,
         initializer=_init_worker,
-        initargs=(table.base_id, table.subpaths),
+        initargs=(table.base_id, table.subpaths, obs is not None),
     ) as pool:
         results = pool.map(worker, chunks)
     out: List[Tuple[int, ...]] = []
-    for chunk_result in results:
+    for chunk_result, metrics in results:
         out.extend(chunk_result)
+        if metrics is not None and obs is not None:
+            obs.registry.merge_dict(metrics)
     return out
 
 
@@ -89,7 +132,7 @@ def parallel_compress(
     """
     if processes == 1:
         matcher = static_matcher_from_table(table)
-        return [compress_path(p, table, matcher) for p in paths]
+        return compress_dataset(paths, table, matcher)
     return _run_parallel(_compress_chunk, paths, table, processes, chunk_size)
 
 
@@ -101,5 +144,5 @@ def parallel_decompress(
 ) -> List[Tuple[int, ...]]:
     """Decompress *tokens* across *processes* workers (order-preserving)."""
     if processes == 1:
-        return [decompress_path(t, table) for t in tokens]
+        return decompress_dataset(tokens, table)
     return _run_parallel(_decompress_chunk, tokens, table, processes, chunk_size)

@@ -14,11 +14,21 @@ count their work instead:
 
 ``tests/test_probe_costs.py`` re-derives the Examples' arithmetic from
 these counters, and the A1 ablation bench reports them alongside timings.
+
+Batch discipline: counters accumulate across ``longest_match`` calls until
+explicitly zeroed — :meth:`ProbeStats.reset` between batches is the public
+API for that (do not re-instantiate the stats object; backends hold a
+reference to theirs for the matcher's whole lifetime).  For accounting a
+bounded stretch of work without disturbing the running totals, pair
+:meth:`snapshot` with :meth:`delta_since` and, when the
+:mod:`repro.obs` layer is active, :meth:`publish` the delta onto its
+registry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 
 @dataclass
@@ -29,13 +39,35 @@ class ProbeStats:
     hashed_vertices: int = 0
 
     def reset(self) -> None:
-        """Zero the counters."""
+        """Zero the counters (start of a new measurement batch)."""
         self.probes = 0
         self.hashed_vertices = 0
 
     def snapshot(self) -> "ProbeStats":
         """A copy of the current counters."""
         return ProbeStats(self.probes, self.hashed_vertices)
+
+    def delta_since(self, earlier: "ProbeStats") -> "ProbeStats":
+        """The work done since *earlier* (a prior :meth:`snapshot`)."""
+        return ProbeStats(
+            self.probes - earlier.probes,
+            self.hashed_vertices - earlier.hashed_vertices,
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (JSON-safe)."""
+        return {"probes": self.probes, "hashed_vertices": self.hashed_vertices}
+
+    def publish(self, registry, prefix: str = "matcher") -> None:
+        """Add these counts onto a :class:`~repro.obs.registry.MetricsRegistry`.
+
+        Emits ``<prefix>.probes`` and ``<prefix>.hashed_vertices``.  This is
+        the bridge from the always-on per-backend counters to the opt-in
+        observability layer: call sites snapshot before a batch and publish
+        the :meth:`delta_since` after it.
+        """
+        registry.counter(prefix + ".probes").inc(self.probes)
+        registry.counter(prefix + ".hashed_vertices").inc(self.hashed_vertices)
 
     def __add__(self, other: "ProbeStats") -> "ProbeStats":
         return ProbeStats(

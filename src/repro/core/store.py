@@ -23,6 +23,7 @@ from repro.core.compressor import decompress_path
 from repro.core.errors import PathIdError
 from repro.core.matcher import CandidateSet, static_matcher_from_table
 from repro.core.supernode_table import SupernodeTable
+from repro.obs.runtime import get_active
 from repro.paths.encoding import DEFAULT_ENCODING, Encoding
 
 
@@ -65,11 +66,33 @@ class CompressedPathStore:
 
         token = compress_path(path, self.table, self._matcher)
         self._tokens.append(token)
+        obs = get_active()
+        if obs is not None:
+            registry = obs.registry
+            registry.counter("store.ingested_paths").inc()
+            registry.counter("store.ingested_symbols_in").inc(len(path))
+            registry.counter("store.ingested_symbols_out").inc(len(token))
         return len(self._tokens) - 1
 
     def extend(self, paths: Iterable[Sequence[int]]) -> List[int]:
-        """Append many paths; returns their ids in order."""
-        return [self.append(p) for p in paths]
+        """Append many paths; returns their ids in order.
+
+        With :mod:`repro.obs` active the batch is one ``store.ingest`` span;
+        the shared matcher's probe work over the batch lands on the registry
+        as ``matcher.probes`` / ``matcher.hashed_vertices``.
+        """
+        obs = get_active()
+        if obs is None:
+            return [self.append(p) for p in paths]
+        probes_before = self._matcher.stats.snapshot()
+        with obs.tracer.span("store.ingest") as span, obs.registry.timeit(
+            "store.ingest.seconds"
+        ):
+            ids = [self.append(p) for p in paths]
+            if span is not None:
+                span.add("paths", len(ids))
+        self._matcher.stats.delta_since(probes_before).publish(obs.registry, "matcher")
+        return ids
 
     # -- retrieval ------------------------------------------------------------------
 
@@ -88,7 +111,13 @@ class CompressedPathStore:
     def retrieve(self, path_id: int) -> Tuple[int, ...]:
         """Decompress and return the single path *path_id*."""
         self._check_id(path_id)
-        return decompress_path(self._tokens[path_id], self.table)
+        obs = get_active()
+        if obs is None:
+            return decompress_path(self._tokens[path_id], self.table)
+        with obs.registry.timeit("store.retrieve.seconds"):
+            path = decompress_path(self._tokens[path_id], self.table)
+        obs.registry.counter("store.retrieved_paths").inc()
+        return path
 
     def retrieve_many(self, path_ids: Iterable[int]) -> List[Tuple[int, ...]]:
         """Decompress exactly the given paths, leaving the rest compressed.
@@ -100,7 +129,17 @@ class CompressedPathStore:
     def retrieve_all(self) -> List[Tuple[int, ...]]:
         """Decompress the full store (the DS measurement of Fig. 6a)."""
         table = self.table
-        return [decompress_path(t, table) for t in self._tokens]
+        obs = get_active()
+        if obs is None:
+            return [decompress_path(t, table) for t in self._tokens]
+        with obs.tracer.span("store.retrieve_all") as span, obs.registry.timeit(
+            "store.retrieve_all.seconds"
+        ):
+            paths = [decompress_path(t, table) for t in self._tokens]
+            if span is not None:
+                span.add("paths", len(paths))
+        obs.registry.counter("store.retrieved_paths").inc(len(paths))
+        return paths
 
     def retrieve_fraction(self, fraction: float, seed: int = 0) -> List[Tuple[int, ...]]:
         """Decompress a uniform random *fraction* of paths (Fig. 6b's PDS).
@@ -134,6 +173,9 @@ class CompressedPathStore:
             total += encoding.size_of_value(len(subpath)) + encoding.size_of(subpath)
         for token in self._tokens:
             total += encoding.size_of_value(len(token)) + encoding.size_of(token)
+        obs = get_active()
+        if obs is not None:
+            obs.registry.set_gauge("store.compressed_bytes", total)
         return total
 
     def raw_size_bytes(self, encoding: Encoding = DEFAULT_ENCODING) -> int:
@@ -142,6 +184,9 @@ class CompressedPathStore:
         for token in self._tokens:
             path = decompress_path(token, self.table)
             total += encoding.size_of_value(len(path)) + encoding.size_of(path)
+        obs = get_active()
+        if obs is not None:
+            obs.registry.set_gauge("store.raw_bytes", total)
         return total
 
     def compression_ratio(self, encoding: Encoding = DEFAULT_ENCODING) -> float:

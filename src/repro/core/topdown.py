@@ -28,6 +28,7 @@ from collections import Counter
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.matcher import CandidateSet
+from repro.obs.runtime import active_span, get_active
 
 Subpath = Tuple[int, ...]
 
@@ -97,21 +98,34 @@ class TopDownRefiner:
         counting_iteration = max(1, builder.config.delta.bit_length())
         trimmed_per_round: List[int] = []
 
-        for _ in range(rounds):
-            weak = [
-                seq
-                for seq, weight in cands.items()
-                if weight < self.min_weight and len(seq) > self.min_length
-            ]
-            if not weak:
-                break
-            for seq in weak:
-                cands.discard(seq)
-                shorter = self.cut_once(seq, edge_counts)
-                if shorter not in cands:
-                    cands.add(shorter, 0)
-            trimmed_per_round.append(len(weak))
-            builder.run_iteration(
-                cands, paths, counting_iteration, lam, generate=False
-            )
+        with active_span("build.topdown", rounds=rounds) as span:
+            for round_index in range(rounds):
+                weak = [
+                    seq
+                    for seq, weight in cands.items()
+                    if weight < self.min_weight and len(seq) > self.min_length
+                ]
+                if not weak:
+                    break
+                with active_span(
+                    "build.topdown.round", round=round_index + 1
+                ) as round_span:
+                    for seq in weak:
+                        cands.discard(seq)
+                        shorter = self.cut_once(seq, edge_counts)
+                        if shorter not in cands:
+                            cands.add(shorter, 0)
+                    trimmed_per_round.append(len(weak))
+                    builder.run_iteration(
+                        cands, paths, counting_iteration, lam, generate=False
+                    )
+                    if round_span is not None:
+                        round_span.add("trimmed", len(weak))
+            if span is not None:
+                span.add("trimmed", sum(trimmed_per_round))
+
+        obs = get_active()
+        if obs is not None:
+            obs.registry.counter("build.topdown.rounds").inc(len(trimmed_per_round))
+            obs.registry.counter("build.topdown.trimmed").inc(sum(trimmed_per_round))
         return trimmed_per_round

@@ -36,14 +36,12 @@ class TrieCandidates(CandidateSet):
     """Candidate set stored as a forward prefix tree."""
 
     def __init__(self) -> None:
-        from repro.core.probestats import ProbeStats
-
+        super().__init__()
         self._root = _TrieNode()
         self._count = 0
         self._max_len = 0
-        #: Work counters; the trie's unit of work is one child-pointer
-        #: dereference per vertex (the §IV-D O(δ) bound).
-        self.stats = ProbeStats()
+        # self.stats (from the base class): the trie's unit of work is one
+        # child-pointer dereference per vertex (the §IV-D O(δ) bound).
 
     def _node_for(self, seq: Sequence[int], create: bool) -> Optional[_TrieNode]:
         node = self._root

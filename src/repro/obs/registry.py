@@ -1,0 +1,324 @@
+"""Counters, gauges and timers — the metrics half of :mod:`repro.obs`.
+
+A :class:`MetricsRegistry` is a named bag of three instrument kinds:
+
+* :class:`Counter` — a monotonically increasing integer (``probes``,
+  ``paths compressed``, ``bytes written``);
+* :class:`Gauge` — a last-write-wins scalar (``table entries``,
+  ``compressed bytes``);
+* :class:`Timer` — an accumulator of monotonic-clock durations
+  (count / total / min / max), fed by :meth:`MetricsRegistry.timeit` in
+  either context-manager or decorator form.
+
+Two properties matter for this repository:
+
+**Disabled mode is free.**  A registry constructed with ``enabled=False``
+hands out shared null instruments whose methods do nothing, so call sites
+never need ``if`` guards.  The hot paths in :mod:`repro.core` go one step
+further and skip the registry entirely when no instrumentation is active
+(see :mod:`repro.obs.runtime`), keeping the paper-fidelity benchmarks
+honest.
+
+**Snapshots merge.**  :meth:`MetricsRegistry.as_dict` produces a plain
+JSON-safe dict and :meth:`MetricsRegistry.merge_dict` folds one back in —
+counters add, gauges last-write-win, timers pool their distributions.
+That pair is how :mod:`repro.core.parallel` reconciles per-worker metrics
+across process boundaries.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import time
+from typing import Any, Callable, Dict, Mapping, Optional
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, by: int = 1) -> None:
+        """Add *by* (default 1) to the counter."""
+        self.value += by
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A last-write-wins scalar metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level of whatever this gauge watches."""
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Timer:
+    """An accumulator of durations measured on the monotonic clock."""
+
+    __slots__ = ("name", "count", "total_seconds", "min_seconds", "max_seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_seconds = 0.0
+        self.min_seconds: Optional[float] = None
+        self.max_seconds: Optional[float] = None
+
+    def observe(self, seconds: float) -> None:
+        """Fold one measured duration into the distribution."""
+        self.count += 1
+        self.total_seconds += seconds
+        if self.min_seconds is None or seconds < self.min_seconds:
+            self.min_seconds = seconds
+        if self.max_seconds is None or seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average observed duration (0.0 before any observation)."""
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "min_seconds": self.min_seconds if self.min_seconds is not None else 0.0,
+            "max_seconds": self.max_seconds if self.max_seconds is not None else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return f"Timer({self.name!r}, count={self.count}, total={self.total_seconds:.6f}s)"
+
+
+class _TimerHandle:
+    """One timing scope over a :class:`Timer` — ``with`` block or decorator.
+
+    A fresh handle is created per :meth:`MetricsRegistry.timeit` call, so
+    nested and concurrent scopes over the same timer never interfere.
+    """
+
+    __slots__ = ("_timer", "_started")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._started = 0.0
+
+    def __enter__(self) -> "_TimerHandle":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._timer.observe(time.perf_counter() - self._started)
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        timer = self._timer
+
+        @functools.wraps(fn)
+        def timed(*args: Any, **kwargs: Any) -> Any:
+            started = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                timer.observe(time.perf_counter() - started)
+
+        return timed
+
+
+class _NullCounter:
+    """Shared no-op counter handed out by disabled registries."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+
+    def inc(self, by: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    """Shared no-op gauge handed out by disabled registries."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullTimerHandle:
+    """Shared no-op timing scope: enters, exits and decorates for free."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimerHandle":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        return fn
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_TIMER_HANDLE = _NullTimerHandle()
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and timers.
+
+    :param enabled: when ``False`` every accessor returns a shared null
+        instrument and the registry stays permanently empty.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    # -- instruments ---------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called *name*, created on first use."""
+        if not self.enabled:
+            return _NULL_COUNTER  # type: ignore[return-value]
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called *name*, created on first use."""
+        if not self.enabled:
+            return _NULL_GAUGE  # type: ignore[return-value]
+        found = self._gauges.get(name)
+        if found is None:
+            found = self._gauges[name] = Gauge(name)
+        return found
+
+    def timer(self, name: str) -> Timer:
+        """The timer called *name*, created on first use.
+
+        Use :meth:`timeit` to measure a scope; this accessor exposes the
+        accumulator itself (for :meth:`Timer.observe` and inspection).
+        """
+        if not self.enabled:
+            timer = Timer(name)  # detached: observations are discarded
+            return timer
+        found = self._timers.get(name)
+        if found is None:
+            found = self._timers[name] = Timer(name)
+        return found
+
+    def timeit(self, name: str):
+        """A fresh timing scope over timer *name*.
+
+        Usable both ways::
+
+            with registry.timeit("build.seconds"):
+                ...
+
+            @registry.timeit("compress.seconds")
+            def compress(...): ...
+        """
+        if not self.enabled:
+            return _NULL_TIMER_HANDLE
+        return _TimerHandle(self.timer(name))
+
+    # -- conveniences --------------------------------------------------------------
+
+    def inc(self, name: str, by: int = 1) -> None:
+        """Shorthand for ``registry.counter(name).inc(by)``."""
+        self.counter(name).inc(by)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Shorthand for ``registry.gauge(name).set(value)``."""
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Shorthand for ``registry.timer(name).observe(seconds)``."""
+        if self.enabled:
+            self.timer(name).observe(seconds)
+
+    # -- snapshot / merge ----------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        """Current counter values, ``{name: value}``."""
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of every instrument."""
+        return {
+            "counters": self.counters(),
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "timers": {name: t.as_dict() for name, t in sorted(self._timers.items())},
+        }
+
+    def merge_dict(self, data: Mapping[str, Any]) -> None:
+        """Fold a snapshot produced by :meth:`as_dict` into this registry.
+
+        Counters add, gauges last-write-win, timers pool count/total and
+        widen min/max — the right semantics for reconciling per-worker
+        metrics after a parallel fan-out.
+        """
+        if not self.enabled:
+            return
+        for name, value in data.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in data.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, stats in data.get("timers", {}).items():
+            timer = self.timer(name)
+            count = stats.get("count", 0)
+            if not count:
+                continue
+            timer.count += count
+            timer.total_seconds += stats.get("total_seconds", 0.0)
+            low, high = stats.get("min_seconds", 0.0), stats.get("max_seconds", 0.0)
+            if timer.min_seconds is None or low < timer.min_seconds:
+                timer.min_seconds = low
+            if timer.max_seconds is None or high > timer.max_seconds:
+                timer.max_seconds = high
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's current state into this one."""
+        self.merge_dict(other.as_dict())
+
+    def reset(self) -> None:
+        """Drop every instrument (the registry stays enabled)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The :meth:`as_dict` snapshot as a JSON document."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._timers)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(enabled={self.enabled}, counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, timers={len(self._timers)})"
+        )

@@ -1,0 +1,134 @@
+"""Activation plumbing — how hot code finds the instrumentation, if any.
+
+The design constraint is the acceptance bar of every perf PR in this
+repository: with instrumentation off, the hot loops must run at full speed.
+So there is exactly one global — the *active* :class:`Instrumentation`,
+``None`` by default — and instrumented code pays one function call and one
+``is None`` test to discover that nothing is listening::
+
+    obs = get_active()
+    if obs is not None:
+        obs.registry.counter("compress.paths").inc(n)
+
+Scoped activation is the public API::
+
+    with instrumented() as obs:
+        codec.fit(dataset)
+    print(obs.to_json())
+
+``activate`` / ``deactivate`` exist for the one case a ``with`` block cannot
+express: multiprocessing workers, which activate their own instrumentation
+at pool-initializer time and report snapshots back with each result chunk
+(see :mod:`repro.core.parallel`).
+
+Instrumentation is deliberately *not* inherited across a ``fork``: a child
+that kept writing into the (copied) parent registry would lose every count.
+Workers must activate their own.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from typing import Any, Dict, Iterator, Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanTracer
+
+
+class Instrumentation:
+    """A metrics registry and a span tracer, bundled for one observation run.
+
+    :param registry: defaults to a fresh enabled :class:`MetricsRegistry`.
+    :param tracer: defaults to a fresh enabled :class:`SpanTracer`; pass
+        ``SpanTracer(enabled=False)`` for counters-only instrumentation
+        (the multiprocessing workers do, to keep chunk results small).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else SpanTracer()
+
+    def span(self, name: str, **attrs: Any):
+        """Shorthand for ``self.tracer.span(name, **attrs)``."""
+        return self.tracer.span(name, **attrs)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe combined state: ``{"metrics": ..., "spans": ...}``."""
+        return {"metrics": self.registry.as_dict(), "spans": self.tracer.as_dict()}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        import json
+
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def __repr__(self) -> str:
+        return f"Instrumentation(registry={self.registry!r}, tracer={self.tracer!r})"
+
+
+_ACTIVE: Optional[Instrumentation] = None
+
+
+def get_active() -> Optional[Instrumentation]:
+    """The currently active instrumentation, or ``None`` (the default)."""
+    return _ACTIVE
+
+
+def activate(instrumentation: Instrumentation) -> Instrumentation:
+    """Make *instrumentation* the active sink until :func:`deactivate`.
+
+    Prefer the :func:`instrumented` context manager; this imperative form is
+    for process-lifetime activation (multiprocessing pool initializers).
+    """
+    global _ACTIVE
+    _ACTIVE = instrumentation
+    return instrumentation
+
+
+def deactivate() -> None:
+    """Clear the active instrumentation (back to zero-overhead mode)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def instrumented(
+    instrumentation: Optional[Instrumentation] = None,
+) -> Iterator[Instrumentation]:
+    """Activate *instrumentation* (or a fresh one) for the scope of the block.
+
+    Nests correctly: the previously active instrumentation (if any) is
+    restored on exit, so a metrics-collecting CLI command can call library
+    code that opens its own scoped observation.
+    """
+    global _ACTIVE
+    inst = instrumentation if instrumentation is not None else Instrumentation()
+    previous = _ACTIVE
+    _ACTIVE = inst
+    try:
+        yield inst
+    finally:
+        _ACTIVE = previous
+
+
+def active_span(name: str, **attrs: Any):
+    """A span on the active tracer, or a free no-op context when off.
+
+    The ``with active_span(...) as span`` idiom the core modules use; *span*
+    is ``None`` whenever instrumentation is inactive or tracing disabled.
+    """
+    obs = _ACTIVE
+    if obs is None:
+        return nullcontext(None)
+    return obs.tracer.span(name, **attrs)
+
+
+def active_timer(name: str):
+    """A timing scope on the active registry, or a free no-op context."""
+    obs = _ACTIVE
+    if obs is None:
+        return nullcontext(None)
+    return obs.registry.timeit(name)

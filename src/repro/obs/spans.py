@@ -1,0 +1,130 @@
+"""Hierarchical span tracing — phase breakdowns for multi-stage operations.
+
+Where the registry answers "how much work happened", spans answer "where the
+time went": a :class:`SpanTracer` records a tree of named, timed scopes, so a
+table-construction run renders as::
+
+    build                                1.204s
+      build.initialize                   0.087s
+      build.iteration  it=1 cap=2        0.311s  matches=4810 pruned=1205
+      build.iteration  it=2 cap=4        0.298s  matches=5922 pruned=980
+      ...
+      build.finalize                     0.019s
+
+Span naming convention (see docs/observability.md): dotted lowercase paths
+whose first segment is the owning phase (``build``, ``compress``,
+``decompress``, ``store``), with dynamic values carried as attributes —
+``build.iteration`` with ``iteration=3``, never ``build.iteration.3`` — so
+span names stay a small closed set that dashboards can aggregate on.
+
+Tracers nest via an explicit stack, not thread-locals: the repository's
+parallelism is process-based (each worker owns a whole tracer), so a plain
+stack is both sufficient and cheap.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One named, timed scope in the trace tree."""
+
+    __slots__ = ("name", "attrs", "counts", "children", "elapsed_seconds", "_started")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.attrs: Dict[str, Any] = attrs or {}
+        self.counts: Dict[str, int] = {}
+        self.children: List["Span"] = []
+        self.elapsed_seconds = 0.0
+        self._started = 0.0
+
+    def add(self, name: str, by: int = 1) -> None:
+        """Accumulate a per-span count (e.g. matches inside one iteration)."""
+        self.counts[name] = self.counts.get(name, 0) + by
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach or overwrite attributes on the span."""
+        self.attrs.update(attrs)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation (children recurse)."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.counts:
+            out["counts"] = dict(self.counts)
+        if self.children:
+            out["children"] = [child.as_dict() for child in self.children]
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, elapsed={self.elapsed_seconds:.6f}s, "
+            f"children={len(self.children)})"
+        )
+
+
+class SpanTracer:
+    """Records a forest of spans via a context-manager API.
+
+    :param enabled: when ``False``, :meth:`span` yields ``None`` and records
+        nothing, so instrumented code needs no guards.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Optional[Span]]:
+        """Open a span named *name*; nested calls become children.
+
+        Yields the live :class:`Span` (or ``None`` when disabled) so the
+        body can :meth:`~Span.add` counts and :meth:`~Span.annotate` attrs.
+        """
+        if not self.enabled:
+            yield None
+            return
+        span = Span(name, attrs or None)
+        span._started = time.perf_counter()
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.elapsed_seconds = time.perf_counter() - span._started
+            self._stack.pop()
+            if self._stack:
+                self._stack[-1].children.append(span)
+            else:
+                self.roots.append(span)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any scope."""
+        return self._stack[-1] if self._stack else None
+
+    def add(self, name: str, by: int = 1) -> None:
+        """Accumulate a count on the innermost open span (no-op outside)."""
+        if self._stack:
+            self._stack[-1].add(name, by)
+
+    def as_dict(self) -> List[Dict[str, Any]]:
+        """JSON-safe list of completed root spans."""
+        return [span.as_dict() for span in self.roots]
+
+    def reset(self) -> None:
+        """Drop all completed spans (open spans are unaffected)."""
+        self.roots.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanTracer(enabled={self.enabled}, roots={len(self.roots)}, "
+            f"open={len(self._stack)})"
+        )

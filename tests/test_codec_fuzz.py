@@ -1,0 +1,167 @@
+"""Seeded round-trip fuzz over every registered codec.
+
+Satellite coverage: each codec the repository registers — OFFS, OFFS*
+(fast mode), AFS, RSS, GFS, Dlz4, and the blockwise strawman — must
+round-trip losslessly over adversarial path sets:
+
+* the empty path set (fit and compress nothing);
+* length-1 paths (no edges to mine at all);
+* a path exactly equal to one table entry (whole-path supernode hit);
+* max-degree repeats (one hub vertex on every other position, plus long
+  two-vertex oscillations — the highest-degree shapes the generators make);
+* seeded pseudo-random mixtures of motifs, repeats and noise.
+
+Everything is deterministic: the generator is ``random.Random(seed)`` and
+codecs with internal randomness (RSS) get fixed seeds.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import AFSCodec, BlockwiseZlibStore, Dlz4Codec, GFSCodec, RSSCodec
+from repro.core.config import OFFSConfig
+from repro.core.offs import OFFSCodec
+
+SEEDS = (0, 1, 2)
+
+
+def registered_codecs():
+    """Fresh instances of every registered per-path codec, fuzz-sized.
+
+    ``sample_exponent=0`` everywhere: adversarial sets are tiny, so the
+    codecs must train on all of them.
+    """
+    fast = OFFSCodec.fast(sample_exponent=0)
+    return [
+        OFFSCodec(OFFSConfig(iterations=3, sample_exponent=0)),
+        fast,  # OFFS*
+        AFSCodec(threshold=2, capacity=256),
+        RSSCodec(capacity=64, sample_exponent=0, seed=7),
+        GFSCodec(capacity=64, sample_exponent=0),
+        Dlz4Codec(sample_exponent=0),
+    ]
+
+
+def codec_ids():
+    return [codec.name for codec in registered_codecs()]
+
+
+def adversarial_sets():
+    """Named handcrafted path sets covering the satellite's edge cases."""
+    hub = 0
+    max_degree_repeats = [
+        # Star walk: the hub neighbours every other vertex (max in/out degree).
+        [hub, 1, hub, 2, hub, 3, hub, 4, hub, 5, hub, 1, hub, 2],
+        [hub, 1, hub, 2, hub, 3, hub, 4, hub, 5, hub, 1, hub, 2],
+        # Tight oscillation: the same edge repeated far past delta.
+        [1, 2] * 12,
+        [1, 2] * 12,
+        [2, 1] * 9,
+    ]
+    return {
+        "empty_path_set": [],
+        "length_1_paths": [[5], [7], [5], [11]],
+        "table_entry_path": [
+            # [3, 4, 5, 6] repeats often enough to become a table entry, and
+            # appears verbatim as a whole path below.
+            [1, 3, 4, 5, 6, 2],
+            [8, 3, 4, 5, 6, 9],
+            [3, 4, 5, 6],
+            [3, 4, 5, 6],
+            [7, 3, 4, 5, 6],
+        ],
+        "max_degree_repeats": max_degree_repeats,
+        "with_empty_and_singleton": [
+            [],
+            [4],
+            [1, 2, 3, 1, 2, 3],
+            [1, 2, 3, 1, 2, 3],
+            [],
+        ],
+    }
+
+
+def fuzz_paths(seed: int, count: int = 40):
+    """A seeded mixture of shared motifs, repeats, noise and degenerates."""
+    rng = random.Random(seed)
+    motifs = [
+        [rng.randrange(20) for _ in range(rng.randint(2, 6))] for _ in range(4)
+    ]
+    paths = []
+    for _ in range(count):
+        shape = rng.random()
+        if shape < 0.1:
+            paths.append([])
+        elif shape < 0.2:
+            paths.append([rng.randrange(20)])
+        elif shape < 0.6:
+            path = []
+            for _ in range(rng.randint(1, 4)):
+                path.extend(rng.choice(motifs))
+            paths.append(path)
+        elif shape < 0.8:
+            edge = [rng.randrange(20), rng.randrange(20)]
+            paths.append(edge * rng.randint(1, 10))
+        else:
+            paths.append([rng.randrange(20) for _ in range(rng.randint(2, 15))])
+    return paths
+
+
+def assert_round_trip(codec, paths):
+    codec.fit(paths)
+    for path in paths:
+        token = codec.compress_path(path)
+        assert codec.decompress_path(token) == tuple(path), (
+            f"{codec.name} failed to round-trip {path!r}"
+        )
+
+
+class TestAdversarialSets:
+    @pytest.mark.parametrize("codec_index", range(len(codec_ids())), ids=codec_ids())
+    @pytest.mark.parametrize("set_name", sorted(adversarial_sets()))
+    def test_round_trip(self, codec_index, set_name):
+        codec = registered_codecs()[codec_index]
+        assert_round_trip(codec, adversarial_sets()[set_name])
+
+    def test_table_entry_path_really_hits_the_table(self):
+        """Guard the case's premise: [3,4,5,6] must be a table entry."""
+        codec = OFFSCodec(OFFSConfig(iterations=3, sample_exponent=0))
+        codec.fit(adversarial_sets()["table_entry_path"])
+        assert (3, 4, 5, 6) in codec.table.subpaths
+        token = codec.compress_path([3, 4, 5, 6])
+        assert len(token) == 1  # the whole path is one supernode id
+        assert codec.decompress_path(token) == (3, 4, 5, 6)
+
+
+class TestSeededFuzz:
+    @pytest.mark.parametrize("codec_index", range(len(codec_ids())), ids=codec_ids())
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_round_trip(self, codec_index, seed):
+        codec = registered_codecs()[codec_index]
+        assert_round_trip(codec, fuzz_paths(seed))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fuzz_sets_are_deterministic(self, seed):
+        assert fuzz_paths(seed) == fuzz_paths(seed)
+
+
+class TestBlockwise:
+    """The blockwise store is not a PathCodec; fuzz its own API."""
+
+    @pytest.mark.parametrize("paths_per_block", (1, 4, 64))
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_seeded_round_trip(self, paths_per_block, seed):
+        paths = fuzz_paths(seed)
+        store = BlockwiseZlibStore(paths_per_block=paths_per_block)
+        store.compress_dataset(paths)
+        assert store.retrieve_all() == [tuple(p) for p in paths]
+        for path_id in range(0, len(paths), 7):
+            assert store.retrieve(path_id) == tuple(paths[path_id])
+
+    @pytest.mark.parametrize("set_name", sorted(adversarial_sets()))
+    def test_adversarial_round_trip(self, set_name):
+        paths = adversarial_sets()[set_name]
+        store = BlockwiseZlibStore(paths_per_block=2)
+        store.compress_dataset(paths)
+        assert store.retrieve_all() == [tuple(p) for p in paths]
