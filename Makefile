@@ -1,6 +1,6 @@
 # Convenience targets for the OFFS reproduction.
 
-.PHONY: install test lint bench bench-quick examples experiments clean
+.PHONY: install test lint bench bench-quick bench-smoke examples experiments clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,6 +19,11 @@ bench:
 
 bench-quick:
 	REPRO_BENCH_SIZE=small pytest benchmarks/ --benchmark-only
+
+# Tiny fig5-style speed check (seed loop vs flat rolling batch) that
+# emits a single JSON blob; CI archives it as a non-blocking artifact.
+bench-smoke:
+	PYTHONPATH=src python benchmarks/smoke.py --size tiny --out BENCH_smoke.json
 
 experiments:
 	python -m repro.bench --size medium --out experiments_report.txt

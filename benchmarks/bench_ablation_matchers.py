@@ -1,9 +1,10 @@
-"""Ablation A1 — matcher backends: flat hash vs two-level hash vs trie.
+"""Ablation A1 — matcher backends: flat hash, two-level hash, trie, rolling.
 
-The three backends (Algorithm 6, Algorithm 7, §IV-D trie) must produce
-identical tables and tokens; what differs is probe cost.  The printed table
-records CR (identical) and build/compress timings; the pytest-benchmark rows
-time compression per backend.
+The backends (Algorithm 6, Algorithm 7, the §IV-D trie, and the
+rolling-hash scheme of :mod:`repro.core.rollhash`) must produce identical
+tables and tokens; what differs is probe cost.  The printed table records
+CR (identical) and build/compress timings; the pytest-benchmark rows time
+compression per backend.
 """
 
 import pytest
@@ -14,7 +15,7 @@ from repro.core.matcher import static_matcher_from_table
 from repro.core.offs import OFFSCodec
 from repro.workloads.registry import make_dataset
 
-BACKENDS = ("hash", "multilevel", "trie")
+BACKENDS = ("hash", "multilevel", "trie", "rolling")
 
 
 def test_a1_matcher_backend_table(benchmark, config, report):

@@ -1,0 +1,130 @@
+"""Tiny smoke benchmark — ``make bench-smoke``.
+
+A fig5-style speed run small enough for CI: build one table on one
+workload, then time the seed pipeline (per-path loop, flat hash matcher)
+against the flat batch pipeline with the rolling backend, min-of-N each,
+asserting byte-identical output.  Emits one JSON blob (``BENCH_smoke.json``
+by default) so CI can archive a timing trajectory next to the test logs.
+
+Timings here are *smoke* numbers: small inputs, shared runners — read them
+for trajectory and order-of-magnitude, not for truth.  The real harness is
+``pytest benchmarks/ --benchmark-only`` and ``python -m repro.bench``.
+
+::
+
+    PYTHONPATH=src python benchmarks/smoke.py --size tiny --out BENCH_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict
+
+
+def min_of(run: Callable[[], object], rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", default="tiny", choices=("tiny", "small", "medium"))
+    parser.add_argument("--workload", default="alibaba")
+    parser.add_argument("--rounds", type=int, default=3, help="report min-of-N")
+    parser.add_argument("--out", default="BENCH_smoke.json")
+    args = parser.parse_args(argv)
+
+    from repro.core.builder import TableBuilder
+    from repro.core.compressor import compress_dataset, compress_paths_flat
+    from repro.core.config import OFFSConfig
+    from repro.core.matcher import static_matcher_from_table
+    from repro.obs import instrumented
+    from repro.workloads.registry import make_dataset
+
+    dataset = make_dataset(args.workload, args.size, seed=0)
+    sample_exponent = {"tiny": 0, "small": 2, "medium": 4}[args.size]
+    config = OFFSConfig(iterations=4, sample_exponent=sample_exponent)
+    table, report = TableBuilder(config).build(dataset)
+
+    paths = list(dataset)
+    corpus = dataset.to_flat()
+    total_symbols = corpus.total_symbols
+
+    hash_matcher = static_matcher_from_table(table, "hash")
+    rolling_matcher = static_matcher_from_table(table, "rolling")
+
+    baseline_tokens = compress_dataset(paths, table, hash_matcher)
+    rolling_tokens = compress_paths_flat(corpus, table, rolling_matcher)
+    identical = rolling_tokens == baseline_tokens
+
+    # Symmetric inputs: each pipeline is timed on its natural prebuilt
+    # representation (list of tuples for the seed loop, FlatCorpus for the
+    # batch route); the one-off interning cost is reported separately.
+    baseline_s = min_of(lambda: compress_dataset(paths, table, hash_matcher), args.rounds)
+    flat_s = min_of(
+        lambda: compress_paths_flat(corpus, table, rolling_matcher), args.rounds
+    )
+    intern_s = min_of(lambda: dataset.to_flat(), args.rounds)
+
+    def probe_counters(run: Callable[[], object]) -> Dict[str, int]:
+        with instrumented() as obs:
+            run()
+        counters = obs.registry.counters()
+        return {
+            "matcher.probes": counters.get("matcher.probes", 0),
+            "matcher.hashed_vertices": counters.get("matcher.hashed_vertices", 0),
+        }
+
+    result = {
+        "benchmark": "smoke_fig5_speed",
+        "workload": args.workload,
+        "size": args.size,
+        "rounds": args.rounds,
+        "python": platform.python_version(),
+        "paths": len(paths),
+        "symbols": total_symbols,
+        "table_entries": len(table),
+        "build_seconds": round(report.elapsed_seconds, 4),
+        "intern_seconds": round(intern_s, 4),
+        "identical_output": identical,
+        "pipelines": {
+            "seed_hash_loop": {
+                "seconds": round(baseline_s, 4),
+                "msym_per_s": round(total_symbols / baseline_s / 1e6, 3),
+                "probes": probe_counters(
+                    lambda: compress_dataset(paths, table, hash_matcher)
+                ),
+            },
+            "flat_rolling_batch": {
+                "seconds": round(flat_s, 4),
+                "msym_per_s": round(total_symbols / flat_s / 1e6, 3),
+                "probes": probe_counters(
+                    lambda: compress_paths_flat(corpus, table, rolling_matcher)
+                ),
+            },
+        },
+        "speedup": round(baseline_s / flat_s, 3) if flat_s else None,
+    }
+
+    blob = json.dumps(result, indent=2, sort_keys=True)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(blob + "\n")
+    print(blob)
+    print(f"\nsmoke: {result['speedup']}x flat-rolling over seed loop "
+          f"(identical={identical}) -> {args.out}", file=sys.stderr)
+    if not identical:
+        print("smoke: OUTPUT MISMATCH — flat pipeline diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -282,10 +282,11 @@ def exp_ablation_matchers(
     dataset_name: str = "alibaba",
     config: BenchConfig = DEFAULT_BENCH,
 ) -> Tuple[Rows, Shape]:
-    """A1: matcher backends — flat hash vs two-level hash vs trie.
+    """A1: matcher backends — flat hash, two-level hash, trie, rolling.
 
-    All three produce identical tables and tokens (checked); they differ in
-    probe cost (Lemma 3 / §IV-D), reported here from the backends' own
+    All backends produce identical tables and tokens (checked); they differ
+    in probe cost (Lemma 3 / §IV-D / the O(1)-per-length rolling hash),
+    reported here from the backends' own
     :class:`~repro.core.probestats.ProbeStats` counters over a fixed batch.
     """
     from repro.core.compressor import compress_dataset
@@ -298,7 +299,7 @@ def exp_ablation_matchers(
     crs: List[float] = []
     token_sets = []
     probe_batch = list(dataset.head(200))
-    for backend in ("hash", "multilevel", "trie"):
+    for backend in ("hash", "multilevel", "trie", "rolling"):
         codec = OFFSCodec(config.offs_config(matcher=backend))
         m = measure_codec(codec, dataset)
         crs.append(m.compression_ratio)
@@ -322,6 +323,78 @@ def exp_ablation_matchers(
     shape = {
         "results_identical": float(len(set(token_sets)) == 1 and len(set(round(c, 9) for c in crs)) == 1),
     }
+    return rows, shape
+
+
+def exp_flat_batch(
+    dataset_name: str = "alibaba",
+    config: BenchConfig = DEFAULT_BENCH,
+    rounds: int = 3,
+) -> Tuple[Rows, Shape]:
+    """A4: the flat-corpus batch pipeline vs the per-path loop.
+
+    One row per (backend, mode): the seed pipeline (per-path loop over
+    tuples, flat hash matcher) against :func:`~repro.core.compressor.
+    compress_paths_flat` per backend — with ``rolling`` hitting the
+    vectorized :class:`~repro.core.rollhash.FlatBatchKernel`.  Output is
+    byte-identical everywhere (checked); timings are min-of-*rounds*.
+    """
+    import time
+
+    from repro.core.compressor import compress_dataset, compress_paths_flat
+    from repro.core.matcher import static_matcher_from_table
+
+    dataset = make_dataset(dataset_name, config.size, config.seed)
+    codec = OFFSCodec(config.offs_config())
+    codec.fit(dataset)
+    table = codec.table
+    paths = list(dataset)
+    corpus = dataset.to_flat()
+    total_symbols = corpus.total_symbols
+
+    def min_of(run) -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    baseline_matcher = static_matcher_from_table(table, "hash")
+    baseline_tokens = compress_dataset(paths, table, baseline_matcher)
+    baseline_seconds = min_of(lambda: compress_dataset(paths, table, baseline_matcher))
+
+    rows: Rows = [("pipeline", "backend", "compress (s)", "Msym/s", "speedup", "identical")]
+    rows.append(
+        (
+            "per-path loop",
+            "hash",
+            round(baseline_seconds, 4),
+            round(total_symbols / baseline_seconds / 1e6, 3),
+            1.0,
+            1,
+        )
+    )
+    shape: Shape = {}
+    for backend in ("hash", "multilevel", "trie", "rolling"):
+        matcher = static_matcher_from_table(table, backend)
+        tokens = compress_paths_flat(corpus, table, matcher)
+        identical = tokens == baseline_tokens
+        seconds = min_of(lambda: compress_paths_flat(corpus, table, matcher))
+        speedup = baseline_seconds / seconds if seconds else float("inf")
+        rows.append(
+            (
+                "flat batch",
+                backend,
+                round(seconds, 4),
+                round(total_symbols / seconds / 1e6, 3),
+                round(speedup, 2),
+                int(identical),
+            )
+        )
+        shape[f"{backend}_identical"] = float(identical)
+        if backend == "rolling":
+            shape["rolling_flat_speedup"] = speedup
     return rows, shape
 
 

@@ -34,6 +34,7 @@ from repro.bench.experiments import (
     exp_fig6_decompression,
     exp_fig6_partial,
     exp_fig6_scalability,
+    exp_flat_batch,
     exp_table3,
 )
 from repro.bench.harness import BenchConfig
@@ -63,6 +64,7 @@ EXPERIMENTS: Dict[str, Tuple[Callable, Optional[Tuple]]] = {
     "ablation_matchers": (exp_ablation_matchers, None),
     "ablation_measure": (exp_ablation_measure, None),
     "ablation_params": (exp_ablation_params, None),
+    "flat_batch": (exp_flat_batch, None),
 }
 
 

@@ -34,7 +34,7 @@ from contextlib import nullcontext
 from typing import List, Optional
 
 from repro.analysis.stats import format_table
-from repro.core.config import OFFSConfig
+from repro.core.config import MATCHER_BACKENDS, OFFSConfig
 from repro.core.offs import OFFSCodec
 from repro.core.serialize import dumps_store, loads_store
 from repro.core.store import CompressedPathStore
@@ -79,6 +79,10 @@ def _add_offs_options(parser: argparse.ArgumentParser) -> None:
                         help="candidate capacity divisor lambda = nodes/beta")
     parser.add_argument("--topdown-rounds", type=int, default=0,
                         help="hybrid top-down refinement rounds (0 = off)")
+    parser.add_argument("--backend", choices=MATCHER_BACKENDS, default="hash",
+                        help="longest-match backend; output is identical, "
+                             "only probe cost differs ('rolling' batches "
+                             "whole corpora through vectorized kernels)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -163,10 +167,14 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         alpha=min(5, args.delta - 1),
         beta=args.beta,
         topdown_rounds=args.topdown_rounds,
+        matcher=args.backend,
     )
+    corpus = dataset.to_flat()
     with _metrics_scope(args) as obs:
-        codec = OFFSCodec(config).fit(dataset)
-        store = CompressedPathStore.from_dataset(dataset, codec.table)
+        codec = OFFSCodec(config).fit(corpus)
+        store = CompressedPathStore.from_corpus(
+            corpus, codec.table, matcher_backend=args.backend
+        )
         ratio = store.compression_ratio()
         blob = dumps_store(store)
     with open(args.output, "wb") as fh:

@@ -9,7 +9,11 @@ The paper's primary contribution lives here:
   (Algorithms 6 and 7, and the §IV-D trie).
 * :mod:`repro.core.builder` — ``TConstruct*`` (Algorithm 5): merge &
   expansion under practical weighted frequency.
-* :mod:`repro.core.compressor` — Algorithms 1 and 2.
+* :mod:`repro.core.compressor` — Algorithms 1 and 2, plus the flat batch
+  entry points (``compress_paths_flat`` / ``decompress_paths_flat``).
+* :mod:`repro.core.flatcorpus` / :mod:`repro.core.rollhash` — the
+  flat-corpus layout and the rolling-hash backend with its vectorized
+  batch kernel.
 * :mod:`repro.core.offs` — the :class:`OFFSCodec` façade.
 * :mod:`repro.core.store` — per-path random-access compressed storage.
 * :mod:`repro.core.serialize` — versioned binary persistence.
@@ -21,9 +25,12 @@ from repro.core.codec import PathCodec, TableCodec
 from repro.core.compressor import (
     compress_dataset,
     compress_path,
+    compress_paths_flat,
     decompress_dataset,
     decompress_path,
+    decompress_paths_flat,
 )
+from repro.core.flatcorpus import FlatCorpus, as_flat_corpus
 from repro.core.config import OFFSConfig
 from repro.core.errors import (
     ConfigError,
@@ -40,6 +47,7 @@ from repro.core.stream import AutoSegmentingStream, StreamingCompressor
 from repro.core.topdown import TopDownRefiner
 from repro.core.validate import ValidationReport, validate_store
 from repro.core.multilevel import MultiLevelCandidates
+from repro.core.rollhash import FlatBatchKernel, RollingHashCandidates
 from repro.core.offs import OFFSCodec
 from repro.core.serialize import dumps_store, dumps_table, loads_store, loads_table
 from repro.core.store import CompressedPathStore
@@ -59,8 +67,14 @@ __all__ = [
     "TableCodec",
     "compress_dataset",
     "compress_path",
+    "compress_paths_flat",
     "decompress_dataset",
     "decompress_path",
+    "decompress_paths_flat",
+    "FlatCorpus",
+    "as_flat_corpus",
+    "FlatBatchKernel",
+    "RollingHashCandidates",
     "OFFSConfig",
     "ConfigError",
     "CorruptDataError",

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import OFFSConfig
+from repro.core.flatcorpus import as_flat_corpus
 from repro.core.matcher import CandidateSet, make_candidate_set
 from repro.core.supernode_table import SupernodeTable
 from repro.obs.runtime import active_span, get_active
@@ -233,21 +234,20 @@ class TableBuilder:
         report = BuildReport()
 
         with active_span("build", matcher=self.config.matcher) as span:
-            paths = list(dataset)
+            # Intern the dataset once: base_id becomes a single (vectorized
+            # where numpy exists) max over the flat buffer, and sampling
+            # materializes only the sampled paths as tuples — the full
+            # dataset never becomes a list of tuples here.
+            corpus = as_flat_corpus(dataset)
             if base_id is None:
-                max_id = -1
-                for p in paths:
-                    if p:
-                        m = max(p)
-                        if m > max_id:
-                            max_id = m
+                max_id = corpus.max_vertex()
                 base_id = max_id + 1 if max_id >= 0 else 1
 
             stride = self.config.sample_stride
-            sampled = paths[::stride] if stride > 1 else paths
+            sampled = (corpus.every(stride) if stride > 1 else corpus).to_paths()
             report.sampled_paths = len(sampled)
             report.sampled_nodes = sum(len(p) for p in sampled)
-            total_nodes = sum(len(p) for p in paths)
+            total_nodes = corpus.total_symbols
             lam = self.config.lambda_for(total_nodes)
             report.lambda_capacity = lam
 

@@ -11,13 +11,19 @@ OpenMP parallelism; see :func:`compress_dataset`'s ``chunked`` helpers).
   ``O(|P| · δ)`` with the trie matcher.
 * :func:`decompress_path` — one-pass supernode expansion (Algorithm 1);
   ``O(|P|)`` in the decompressed length (Lemma 1).
+* :func:`compress_paths_flat` / :func:`decompress_paths_flat` — the batch
+  entry points over a :class:`~repro.core.flatcorpus.FlatCorpus`.  With the
+  ``rolling`` matcher and numpy present, compression runs through the
+  vectorized :class:`~repro.core.rollhash.FlatBatchKernel`; results are
+  bit-identical to the per-path loop with any backend.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import TableError
+from repro.core.flatcorpus import FlatCorpus, as_flat_corpus
 from repro.core.matcher import CandidateSet, static_matcher_from_table
 from repro.core.supernode_table import SupernodeTable
 from repro.obs.runtime import get_active
@@ -161,14 +167,181 @@ def decompress_dataset(
     return out
 
 
+def compress_paths_flat(
+    paths: Union[FlatCorpus, Iterable[Sequence[int]]],
+    table: SupernodeTable,
+    matcher: Optional[CandidateSet] = None,
+    as_corpus: bool = False,
+) -> Union[List[CompressedPath], FlatCorpus]:
+    """Compress a whole corpus in one batch (the flat pipeline entry point).
+
+    Bit-identical to :func:`compress_dataset` over the same paths with the
+    same matcher backend; with the ``rolling`` matcher and numpy available,
+    the probe work runs through the vectorized
+    :class:`~repro.core.rollhash.FlatBatchKernel` — one pass of window
+    hashes over the flat buffer, then a thin greedy verify loop.
+
+    :param paths: a :class:`FlatCorpus` (preferred; anything else is
+        interned first).
+    :param matcher: a prebuilt static matcher over *table*; its type selects
+        the kernel (``RollingHashCandidates`` → vectorized batch path).
+    :param as_corpus: return the compressed tokens as a :class:`FlatCorpus`
+        (what the parallel workers ship back) instead of a list of tuples.
+    """
+    corpus = as_flat_corpus(paths)
+    if matcher is None:
+        matcher = static_matcher_from_table(table)
+    obs = get_active()
+    if obs is None:
+        out = _compress_corpus(corpus, table, matcher)
+        return FlatCorpus.from_paths(out, name=corpus.name) if as_corpus else out
+
+    probes_before = matcher.stats.snapshot()
+    with obs.tracer.span("compress") as span, obs.registry.timeit("compress.seconds"):
+        out = _compress_corpus(corpus, table, matcher)
+        symbols_in = corpus.total_symbols
+        symbols_out = sum(len(t) for t in out)
+        if span is not None:
+            span.add("paths", len(out))
+            span.add("symbols_in", symbols_in)
+            span.add("symbols_out", symbols_out)
+            span.add("flat", 1)
+    registry = obs.registry
+    registry.counter("compress.paths").inc(len(out))
+    registry.counter("compress.symbols_in").inc(symbols_in)
+    registry.counter("compress.symbols_out").inc(symbols_out)
+    registry.counter("compress.flat_batches").inc()
+    matcher.stats.delta_since(probes_before).publish(registry, "matcher")
+    return FlatCorpus.from_paths(out, name=corpus.name) if as_corpus else out
+
+
+def _compress_corpus(
+    corpus: FlatCorpus, table: SupernodeTable, matcher: CandidateSet
+) -> List[CompressedPath]:
+    """Kernel dispatch for :func:`compress_paths_flat` (obs-free inner part)."""
+    from repro.core.rollhash import RollingHashCandidates
+
+    if isinstance(matcher, RollingHashCandidates):
+        kernel = matcher.flat_kernel(table)
+        if kernel.available:
+            return _compress_corpus_rolling(corpus, table, kernel, matcher.stats)
+    return [compress_path(corpus.path(i), table, matcher) for i in range(len(corpus))]
+
+
+def _compress_corpus_rolling(
+    corpus: FlatCorpus, table: SupernodeTable, kernel, stats
+) -> List[CompressedPath]:
+    """The greedy verify loop over a precomputed best-length array.
+
+    ``kernel.best_lengths`` nominates, per symbol position, the longest
+    candidate length whose rolling hash matches the table; this loop walks
+    each path greedily, verifies every nomination against the exact table
+    (collisions descend to the next shorter length) and emits supernode ids
+    or literals.  Work counters land on *stats* so the obs layer sees the
+    batch like any other matcher run.
+    """
+    delta = table.max_subpath_length
+    base_id = table.base_id
+    max_vertex = corpus.max_vertex()
+    if max_vertex >= base_id:
+        raise TableError(
+            f"vertex id {max_vertex} collides with the supernode id space "
+            f"(base_id={base_id}); fit the table with a base_id above every "
+            "vertex id that will ever be compressed"
+        )
+    best = kernel.best_lengths(corpus)
+    assert best is not None  # kernel.available was checked by the dispatcher
+    ids = table.inverted()
+    get_id = ids.get
+    buffer = corpus.buffer
+    out: List[CompressedPath] = []
+    emit = out.append
+    verify_vertices = 0
+    start = 0
+    for end in list(corpus.offsets)[1:]:
+        path = tuple(buffer[start:end])
+        n = end - start
+        tokens: List[int] = []
+        push = tokens.append
+        pos = 0
+        while pos < n:
+            length = best[start + pos]
+            if length > 1 and length <= delta:
+                verify_vertices += length
+                sid = get_id(path[pos : pos + length])
+                while sid is None and length > 2:
+                    # Hash collision: the nomination was a false positive;
+                    # descend until a real candidate (or a literal) remains.
+                    length -= 1
+                    verify_vertices += length
+                    sid = get_id(path[pos : pos + length])
+                if sid is not None:
+                    push(sid)
+                    pos += length
+                    continue
+            push(path[pos])
+            pos += 1
+        emit(tuple(tokens))
+        start = end
+    stats.probes += kernel.batch_probes
+    stats.hashed_vertices += kernel.batch_probes + verify_vertices
+    return out
+
+
+def decompress_paths_flat(
+    tokens: Union[FlatCorpus, Iterable[Sequence[int]]],
+    table: SupernodeTable,
+    as_corpus: bool = False,
+) -> Union[List[Tuple[int, ...]], FlatCorpus]:
+    """Decompress a whole batch of tokens (flat-pipeline counterpart).
+
+    Accepts a :class:`FlatCorpus` of compressed tokens (what the parallel
+    workers receive) or any token iterable; instrumented exactly like
+    :func:`decompress_dataset`.
+
+    :param as_corpus: return the restored paths as a :class:`FlatCorpus`.
+    """
+    corpus = as_flat_corpus(tokens)
+    obs = get_active()
+    if obs is None:
+        out = [decompress_path(corpus.path(i), table) for i in range(len(corpus))]
+        return FlatCorpus.from_paths(out, name=corpus.name) if as_corpus else out
+
+    with obs.tracer.span("decompress") as span, obs.registry.timeit(
+        "decompress.seconds"
+    ):
+        out = [decompress_path(corpus.path(i), table) for i in range(len(corpus))]
+        symbols_in = corpus.total_symbols
+        symbols_out = sum(len(p) for p in out)
+        if span is not None:
+            span.add("paths", len(out))
+            span.add("symbols_in", symbols_in)
+            span.add("symbols_out", symbols_out)
+            span.add("flat", 1)
+    registry = obs.registry
+    registry.counter("decompress.paths").inc(len(out))
+    registry.counter("decompress.symbols_in").inc(symbols_in)
+    registry.counter("decompress.symbols_out").inc(symbols_out)
+    return FlatCorpus.from_paths(out, name=corpus.name) if as_corpus else out
+
+
 def chunked(items: Sequence, chunk_size: int) -> Iterable[Sequence]:
     """Split *items* into contiguous chunks for parallel fan-out.
 
     The algorithms are pure per path, so a pool can map
     ``compress_dataset``/``decompress_dataset`` over these chunks to realize
     the paper's ``O(|P| · δ² / p)`` parallel bound.
+
+    Raises :class:`ValueError` for ``chunk_size <= 0`` *eagerly* (at call
+    time, not first iteration) — a generator that validated lazily would let
+    ``chunked(items, 0)`` pass silently anywhere the result is stored before
+    being consumed.
     """
     if chunk_size < 1:
-        raise ValueError("chunk_size must be >= 1")
-    for start in range(0, len(items), chunk_size):
-        yield items[start : start + chunk_size]
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    def _generate() -> Iterable[Sequence]:
+        for start in range(0, len(items), chunk_size):
+            yield items[start : start + chunk_size]
+
+    return _generate()

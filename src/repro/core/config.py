@@ -21,7 +21,9 @@ The paper's tunables, with its deployed defaults (Section VI-A):
 * ``min_final_weight`` — finalization drops candidates seen fewer times
   (Example 2 drops "the useless ones with weight one").
 * ``matcher`` — prefix-match backend: ``"hash"`` (Algorithm 6),
-  ``"multilevel"`` (Algorithm 7) or ``"trie"`` (the §IV-D optimization (2)).
+  ``"multilevel"`` (Algorithm 7), ``"trie"`` (the §IV-D optimization (2)) or
+  ``"rolling"`` (the rolling-hash scheme of :mod:`repro.core.rollhash`,
+  O(1) per probed length).
 * ``topdown_rounds`` (default 0 = off) — hybrid top-down refinement passes
   after the bottom-up iterations (the §IV-D optimization (1); see
   :mod:`repro.core.topdown`).
@@ -34,7 +36,7 @@ from typing import Optional
 
 from repro.core.errors import ConfigError
 
-MATCHER_BACKENDS = ("hash", "multilevel", "trie")
+MATCHER_BACKENDS = ("hash", "multilevel", "trie", "rolling")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,222 @@
+"""Flat-corpus representation: one buffer, one offsets index, zero tuple churn.
+
+Every batch operation in this repository — table construction, greedy
+compression, parallel fan-out — ultimately walks a *dataset of paths*.  The
+natural Python representation (a list of int tuples) pays for that
+convenience twice: once in memory (object headers, per-tuple allocation) and
+once in motion (pickling a list of tuples ships every element as an object).
+A :class:`FlatCorpus` interns the same data as two ``array('q')`` buffers:
+
+* ``buffer`` — every vertex of every path, concatenated;
+* ``offsets`` — ``n + 1`` monotone positions; path *i* occupies
+  ``buffer[offsets[i]:offsets[i+1]]``.
+
+This is the layout the batch kernels of :mod:`repro.core.rollhash` consume
+directly (prefix hashes are computed over ``buffer`` in one vectorized pass
+when numpy is available), and the layout :mod:`repro.core.parallel` ships to
+worker processes: a chunk is a buffer *slice* plus rebased offsets, picked up
+as machine bytes rather than a forest of tuples.
+
+numpy is optional everywhere: :meth:`as_numpy` returns ``None`` when it is
+unavailable and every consumer falls back to the pure-Python path.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+Subpath = Tuple[int, ...]
+
+#: What :meth:`FlatCorpus.to_shipping` produces: raw buffer bytes and raw
+#: offsets bytes.  Deliberately plain (two ``bytes`` objects) so pickling a
+#: chunk costs two memcpy-speed blobs.
+ShippedCorpus = Tuple[bytes, bytes]
+
+try:  # soft dependency — the container itself never requires numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+
+class FlatCorpus:
+    """An immutable path dataset interned into one flat int64 buffer.
+
+    :param buffer: the concatenated vertices — an ``array('q')`` or a
+        (zero-copy) ``memoryview`` of one.
+    :param offsets: ``n + 1`` monotone ints starting at 0 and ending at
+        ``len(buffer)``.
+    :param name: label carried into stats and benchmark reports.
+
+    Iterating yields each path as a fresh tuple; prefer :meth:`view` /
+    :meth:`as_numpy` in hot code that can work on the raw buffer.
+    """
+
+    __slots__ = ("buffer", "offsets", "name")
+
+    def __init__(self, buffer, offsets, name: str = "corpus") -> None:
+        if len(offsets) == 0 or offsets[0] != 0:
+            raise ValueError("offsets must start at 0")
+        if offsets[-1] != len(buffer):
+            raise ValueError(
+                f"offsets end ({offsets[-1]}) must equal buffer length ({len(buffer)})"
+            )
+        self.buffer = buffer
+        self.offsets = offsets
+        self.name = name
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[Sequence[int]], name: str = "corpus") -> "FlatCorpus":
+        """Intern *paths* (any iterable of int sequences) into a corpus."""
+        buffer = array("q")
+        offsets = array("q", [0])
+        extend = buffer.extend
+        append = offsets.append
+        for p in paths:
+            extend(p)
+            append(len(buffer))
+        return cls(buffer, offsets, name=name)
+
+    @classmethod
+    def from_shipping(cls, payload: ShippedCorpus, name: str = "corpus") -> "FlatCorpus":
+        """Rebuild a corpus from :meth:`to_shipping` output."""
+        buffer_bytes, offsets_bytes = payload
+        buffer = array("q")
+        buffer.frombytes(buffer_bytes)
+        offsets = array("q")
+        offsets.frombytes(offsets_bytes)
+        return cls(buffer, offsets, name=name)
+
+    def to_shipping(self) -> ShippedCorpus:
+        """The corpus as two machine-byte blobs (cheap to pickle)."""
+        return bytes(self.buffer), bytes(self.offsets)
+
+    # -- container protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of paths."""
+        return len(self.offsets) - 1
+
+    def __getitem__(self, index: int) -> Subpath:
+        return self.path(index)
+
+    def __iter__(self) -> Iterator[Subpath]:
+        buffer = self.buffer
+        offsets = self.offsets
+        start = offsets[0]
+        for i in range(1, len(offsets)):
+            end = offsets[i]
+            yield tuple(buffer[start:end])
+            start = end
+
+    def __repr__(self) -> str:
+        return (
+            f"FlatCorpus(name={self.name!r}, paths={len(self)}, "
+            f"symbols={self.total_symbols})"
+        )
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def total_symbols(self) -> int:
+        """Total vertices across all paths (the paper's ``|P|`` in nodes)."""
+        return len(self.buffer)
+
+    def path(self, index: int) -> Subpath:
+        """Path *index* materialized as a tuple."""
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(f"path index {index} out of range")
+        return tuple(self.buffer[self.offsets[index] : self.offsets[index + 1]])
+
+    def view(self, index: int) -> memoryview:
+        """Path *index* as a zero-copy memoryview into the buffer."""
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(f"path index {index} out of range")
+        return memoryview(self.buffer)[self.offsets[index] : self.offsets[index + 1]]
+
+    def lengths(self) -> List[int]:
+        """Per-path lengths, in order."""
+        offsets = self.offsets
+        return [offsets[i + 1] - offsets[i] for i in range(len(self))]
+
+    def max_vertex(self) -> int:
+        """Largest vertex id in the corpus; ``-1`` when empty."""
+        if len(self.buffer) == 0:
+            return -1
+        arrays = self.as_numpy()
+        if arrays is not None:
+            return int(arrays[0].max())
+        return max(self.buffer)
+
+    def to_paths(self) -> List[Subpath]:
+        """Materialize every path as a tuple (the legacy representation)."""
+        return list(self)
+
+    def to_dataset(self):
+        """The corpus as a :class:`~repro.paths.dataset.PathDataset`."""
+        from repro.paths.dataset import PathDataset
+
+        return PathDataset(self, name=self.name)
+
+    def as_numpy(self):
+        """Zero-copy numpy views ``(buffer, offsets)`` as int64, or ``None``.
+
+        ``None`` means numpy is unavailable; callers must take their
+        pure-Python fallback.
+        """
+        if _np is None:
+            return None
+        buf = _np.frombuffer(self.buffer, dtype=_np.int64)
+        offs = _np.frombuffer(self.offsets, dtype=_np.int64)
+        return buf, offs
+
+    # -- chunking (parallel fan-out) ----------------------------------------------
+
+    def chunk(self, start: int, stop: int) -> "FlatCorpus":
+        """Paths ``start:stop`` as a corpus sharing this buffer (zero-copy).
+
+        The returned corpus's ``buffer`` is a memoryview slice; its offsets
+        are rebased to start at 0.
+        """
+        n = len(self)
+        start = max(0, min(start, n))
+        stop = max(start, min(stop, n))
+        lo = self.offsets[start]
+        hi = self.offsets[stop]
+        buffer = memoryview(self.buffer)[lo:hi]
+        offsets = array("q", (self.offsets[i] - lo for i in range(start, stop + 1)))
+        return FlatCorpus(buffer, offsets, name=f"{self.name}[{start}:{stop}]")
+
+    def chunks(self, chunk_size: int) -> Iterator["FlatCorpus"]:
+        """Contiguous zero-copy chunks of at most *chunk_size* paths."""
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        for start in range(0, len(self), chunk_size):
+            yield self.chunk(start, start + chunk_size)
+
+    def every(self, stride: int) -> "FlatCorpus":
+        """Every *stride*-th path as a new corpus (the paper's sampling)."""
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        if stride == 1:
+            return self
+        buffer = array("q")
+        offsets = array("q", [0])
+        for i in range(0, len(self), stride):
+            buffer.extend(self.buffer[self.offsets[i] : self.offsets[i + 1]])
+            offsets.append(len(buffer))
+        return FlatCorpus(buffer, offsets, name=f"{self.name}/every{stride}")
+
+
+def as_flat_corpus(paths, name: str = "corpus") -> FlatCorpus:
+    """Coerce *paths* (a :class:`FlatCorpus` or any path iterable) to a corpus."""
+    if isinstance(paths, FlatCorpus):
+        return paths
+    dataset_name = getattr(paths, "name", None)
+    return FlatCorpus.from_paths(paths, name=dataset_name or name)

@@ -8,9 +8,11 @@ its baseline answer, a flat hash table probed from the longest length down
 (exactly Algorithm 6 of the paper).
 
 Alternative backends live in :mod:`repro.core.multilevel` (the two-level hash
-of Algorithm 7) and :mod:`repro.core.trie` (the prefix-tree optimization of
-Section IV-D).  All backends return identical match lengths — they differ
-only in probe cost — which the test suite checks property-based.
+of Algorithm 7), :mod:`repro.core.trie` (the prefix-tree optimization of
+Section IV-D) and :mod:`repro.core.rollhash` (a rolling-hash scheme probing
+each candidate length in O(1)).  All backends return identical match lengths
+— they differ only in probe cost — which the test suite checks
+property-based.
 
 Weights: a candidate set also tracks a non-negative integer weight per
 candidate (the *practical frequency* counter of Section IV-A).  Weight
@@ -189,7 +191,7 @@ def static_matcher_from_table(table, backend: str = "hash") -> CandidateSet:
     matching implementation for both phases.  Weights are irrelevant here.
 
     :param table: a :class:`~repro.core.supernode_table.SupernodeTable`.
-    :param backend: ``"hash"``, ``"multilevel"`` or ``"trie"``.
+    :param backend: ``"hash"``, ``"multilevel"``, ``"trie"`` or ``"rolling"``.
     """
     matcher = make_candidate_set(backend)
     for _, subpath in table:
@@ -200,7 +202,7 @@ def static_matcher_from_table(table, backend: str = "hash") -> CandidateSet:
 def make_candidate_set(backend: str, alpha: int = 5) -> CandidateSet:
     """Factory for candidate-set backends by name.
 
-    :param backend: ``"hash"``, ``"multilevel"`` or ``"trie"``.
+    :param backend: ``"hash"``, ``"multilevel"``, ``"trie"`` or ``"rolling"``.
     :param alpha: primary-key length for the multilevel backend (ignored by
         the others).
     """
@@ -214,4 +216,8 @@ def make_candidate_set(backend: str, alpha: int = 5) -> CandidateSet:
         from repro.core.trie import TrieCandidates
 
         return TrieCandidates()
+    if backend == "rolling":
+        from repro.core.rollhash import RollingHashCandidates
+
+        return RollingHashCandidates()
     raise ValueError(f"unknown matcher backend {backend!r}")

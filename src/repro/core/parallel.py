@@ -10,20 +10,26 @@ Implementation notes:
 
 * ``multiprocessing`` with an initializer holds the table (and the static
   matcher built from it) in worker-global state, so per-chunk pickling cost
-  is one list of integer tuples, not table copies.
-* Chunks are large (default 2048 paths) because pure-Python work units must
-  amortize IPC; with C-level kernels the paper's per-path granularity would
-  be realistic.
-* ``processes=1`` bypasses multiprocessing entirely — the sequential
-  functions are the ground truth the tests compare against.
+  is the chunk payload only, never table copies.
+* Chunks travel both directions as :class:`~repro.core.flatcorpus.FlatCorpus`
+  shipping payloads — two machine-byte blobs (buffer + offsets) per chunk.
+  Slicing a chunk out of the parent corpus is zero-copy (a memoryview of the
+  shared buffer), and pickling it is two memcpy-speed ``bytes`` objects
+  instead of a forest of integer tuples.
+* Workers run the batch entry points (:func:`~repro.core.compressor.
+  compress_paths_flat`); with ``backend="rolling"`` each chunk goes through
+  the vectorized kernel.  ``processes=1`` bypasses multiprocessing but uses
+  the *same* batch entry point, so metric totals and probe counts are
+  identical across process counts for every backend.
 
 Observability: when :mod:`repro.obs` instrumentation is active in the
 parent, each worker activates its own counters-only instrumentation at
 initializer time, resets it per chunk, and ships the chunk's metric
 snapshot back with the results; the parent folds every snapshot into its
 registry.  Counter totals therefore equal the sequential run's exactly
-(probe counts are pure per path), while worker timers pool into CPU-time
-style aggregates — see the differential test in
+(probe counts are pure per path — and, for the batch kernel, additive over
+path-aligned chunks), while worker timers pool into CPU-time style
+aggregates — see the differential test in
 ``tests/test_parallel_differential.py``.
 """
 
@@ -32,7 +38,8 @@ from __future__ import annotations
 import multiprocessing
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.compressor import compress_dataset, decompress_dataset
+from repro.core.compressor import compress_paths_flat, decompress_paths_flat
+from repro.core.flatcorpus import FlatCorpus, ShippedCorpus, as_flat_corpus
 from repro.core.matcher import CandidateSet, static_matcher_from_table
 from repro.core.supernode_table import SupernodeTable
 from repro.obs.registry import MetricsRegistry
@@ -43,11 +50,14 @@ _worker_table: Optional[SupernodeTable] = None
 _worker_matcher: Optional[CandidateSet] = None
 _worker_registry: Optional[MetricsRegistry] = None
 
-_ChunkResult = Tuple[List[Tuple[int, ...]], Optional[Dict[str, Any]]]
+_ChunkResult = Tuple[ShippedCorpus, Optional[Dict[str, Any]]]
 
 
 def _init_worker(
-    base_id: int, subpaths: List[Tuple[int, ...]], instrument: bool = False
+    base_id: int,
+    subpaths: List[Tuple[int, ...]],
+    backend: str = "hash",
+    instrument: bool = False,
 ) -> None:
     """Rebuild the table and its matcher once per worker process.
 
@@ -57,7 +67,7 @@ def _init_worker(
     """
     global _worker_table, _worker_matcher, _worker_registry
     _worker_table = SupernodeTable(base_id, subpaths)
-    _worker_matcher = static_matcher_from_table(_worker_table)
+    _worker_matcher = static_matcher_from_table(_worker_table, backend)
     if instrument:
         _worker_registry = MetricsRegistry()
         activate(Instrumentation(_worker_registry, SpanTracer(enabled=False)))
@@ -72,20 +82,22 @@ def _chunk_metrics() -> Optional[Dict[str, Any]]:
     return _worker_registry.as_dict()
 
 
-def _compress_chunk(chunk: List[Tuple[int, ...]]) -> _ChunkResult:
+def _compress_chunk(payload: ShippedCorpus) -> _ChunkResult:
     assert _worker_table is not None and _worker_matcher is not None
     if _worker_registry is not None:
         _worker_registry.reset()
-    tokens = compress_dataset(chunk, _worker_table, _worker_matcher)
-    return tokens, _chunk_metrics()
+    corpus = FlatCorpus.from_shipping(payload)
+    tokens = compress_paths_flat(corpus, _worker_table, _worker_matcher, as_corpus=True)
+    return tokens.to_shipping(), _chunk_metrics()
 
 
-def _decompress_chunk(chunk: List[Tuple[int, ...]]) -> _ChunkResult:
+def _decompress_chunk(payload: ShippedCorpus) -> _ChunkResult:
     assert _worker_table is not None
     if _worker_registry is not None:
         _worker_registry.reset()
-    paths = decompress_dataset(chunk, _worker_table)
-    return paths, _chunk_metrics()
+    corpus = FlatCorpus.from_shipping(payload)
+    paths = decompress_paths_flat(corpus, _worker_table, as_corpus=True)
+    return paths.to_shipping(), _chunk_metrics()
 
 
 def _run_parallel(
@@ -94,26 +106,27 @@ def _run_parallel(
     table: SupernodeTable,
     processes: int,
     chunk_size: int,
+    backend: str,
 ) -> List[Tuple[int, ...]]:
     if processes < 1:
         raise ValueError("processes must be >= 1")
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
-    items = [tuple(p) for p in items]
-    chunks = [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
-    if not chunks:
+    corpus = as_flat_corpus(items)
+    payloads = [chunk.to_shipping() for chunk in corpus.chunks(chunk_size)]
+    if not payloads:
         return []
     obs = get_active()
     ctx = multiprocessing.get_context("fork") if hasattr(multiprocessing, "get_context") else multiprocessing
     with ctx.Pool(
         processes,
         initializer=_init_worker,
-        initargs=(table.base_id, table.subpaths, obs is not None),
+        initargs=(table.base_id, table.subpaths, backend, obs is not None),
     ) as pool:
-        results = pool.map(worker, chunks)
+        results = pool.map(worker, payloads)
     out: List[Tuple[int, ...]] = []
-    for chunk_result, metrics in results:
-        out.extend(chunk_result)
+    for shipped, metrics in results:
+        out.extend(FlatCorpus.from_shipping(shipped))
         if metrics is not None and obs is not None:
             obs.registry.merge_dict(metrics)
     return out
@@ -124,16 +137,18 @@ def parallel_compress(
     table: SupernodeTable,
     processes: int = 2,
     chunk_size: int = 2048,
+    backend: str = "hash",
 ) -> List[Tuple[int, ...]]:
     """Compress *paths* against *table* across *processes* workers.
 
     Order-preserving and bit-identical to the sequential
-    :func:`~repro.core.compressor.compress_dataset`.
+    :func:`~repro.core.compressor.compress_dataset` — with any *backend*
+    and any process count.
     """
     if processes == 1:
-        matcher = static_matcher_from_table(table)
-        return compress_dataset(paths, table, matcher)
-    return _run_parallel(_compress_chunk, paths, table, processes, chunk_size)
+        matcher = static_matcher_from_table(table, backend)
+        return compress_paths_flat(as_flat_corpus(paths), table, matcher)
+    return _run_parallel(_compress_chunk, paths, table, processes, chunk_size, backend)
 
 
 def parallel_decompress(
@@ -144,5 +159,5 @@ def parallel_decompress(
 ) -> List[Tuple[int, ...]]:
     """Decompress *tokens* across *processes* workers (order-preserving)."""
     if processes == 1:
-        return decompress_dataset(tokens, table)
-    return _run_parallel(_decompress_chunk, tokens, table, processes, chunk_size)
+        return decompress_paths_flat(as_flat_corpus(tokens), table)
+    return _run_parallel(_decompress_chunk, tokens, table, processes, chunk_size, "hash")

@@ -1,0 +1,343 @@
+"""Rolling-hash longest-match backend — O(1) per probed length.
+
+Every other backend pays per *vertex* to probe a candidate length: the flat
+hash (Algorithm 6) and the two-level hash (Algorithm 7) build and hash a
+fresh tuple per probe, the §IV-D trie dereferences one child pointer per
+vertex.  A polynomial rolling hash removes the per-vertex factor entirely:
+with prefix hashes ``P[i]`` of the query path precomputed once,
+
+    hash(path[pos:pos+L]) = P[pos+L] - P[pos] * B**L      (mod 2**64)
+
+is three integer operations regardless of ``L``.  A probe at ``(pos, cap)``
+therefore tests each candidate length in O(1), and a full probe costs
+O(#distinct candidate lengths) instead of O(δ²).
+
+Correctness is never entrusted to the hash: every hash hit is verified
+against the exact candidate before a match is reported, so results are
+bit-identical to the hash/multilevel/trie backends even under adversarial
+collisions (the ``hash_bits`` knob exists precisely to let tests force
+collisions and exercise the verify step).
+
+Two consumers:
+
+* :class:`RollingHashCandidates` — the dynamic :class:`CandidateSet` backend
+  (``make_candidate_set("rolling")``), usable during table *construction*;
+  it caches the prefix hashes of the most recent query path by identity, so
+  the builder's sequential scans amortize preparation to O(1) per vertex.
+* :class:`FlatBatchKernel` — the static batch kernel over a
+  :class:`~repro.core.flatcorpus.FlatCorpus`: one vectorized pass (numpy)
+  computes window hashes for *every* position and candidate length and
+  collapses them into a per-position best-candidate-length array, leaving
+  compression proper a thin greedy verify loop.  Falls back to the dynamic
+  backend when numpy is unavailable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.flatcorpus import FlatCorpus
+from repro.core.matcher import CandidateSet, Subpath
+
+try:  # soft dependency — pure-Python fallbacks exist throughout
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+#: Polynomial base: an odd 64-bit constant (odd ⇒ invertible mod 2**64,
+#: which the vectorized kernel's cumulative-sum formulation needs).
+HASH_BASE = 0x9E3779B97F4A7C15
+
+_MASK64 = (1 << 64) - 1
+
+
+def _hash_sequence(seq: Sequence[int], mask: int) -> int:
+    """The rolling hash of a whole sequence (candidate registration side)."""
+    h = 0
+    for v in seq:
+        h = (h * HASH_BASE + v + 1) & _MASK64
+    return h & mask
+
+
+class RollingHashCandidates(CandidateSet):
+    """Candidate set probed through per-length rolling-hash tables.
+
+    :param hash_bits: width of the stored hash (default 64).  Smaller widths
+        force collisions; results stay identical because every hit is
+        verified — only probe cost degrades.  Tests use this adversarially.
+
+    Probe-cost accounting (``self.stats``): one probe and one hashed vertex
+    per O(1) length test — the unit of work here is a constant-time hash
+    lookup, mirroring how the trie counts child dereferences — plus the
+    verified candidate's length on each hash hit (the explicit
+    collision-verify step re-reads the window).
+    """
+
+    def __init__(self, hash_bits: int = 64) -> None:
+        super().__init__()
+        if not 1 <= hash_bits <= 64:
+            raise ValueError("hash_bits must be in [1, 64]")
+        self.hash_bits = hash_bits
+        self._hash_mask = (1 << hash_bits) - 1
+        self._weights: Dict[Subpath, int] = {}
+        #: length -> {window hash -> number of candidates with that hash}.
+        self._buckets: Dict[int, Dict[int, int]] = {}
+        #: (length, bucket) pairs, longest first; rebuilt when the set of
+        #: lengths changes (adds/discards of an existing length mutate the
+        #: bucket dict in place, which the cached list sees).
+        self._tables_desc: List[Tuple[int, Dict[int, int]]] = []
+        self._max_len = 0
+        # Identity-cached preparation of the current query path.
+        self._prepared_path: Optional[Sequence[int]] = None
+        self._prefix: List[int] = []
+        self._pows: List[int] = [1]
+        # Identity-cached batch kernel (see :meth:`flat_kernel`).
+        self._kernel: Optional["FlatBatchKernel"] = None
+
+    # -- CandidateSet interface ---------------------------------------------------
+
+    def add(self, seq: Sequence[int], weight: int = 1) -> None:
+        sp = tuple(seq)
+        if len(sp) < 2:
+            raise ValueError(f"candidates need >= 2 vertices, got {sp!r}")
+        if sp in self._weights:
+            self._weights[sp] += weight
+            return
+        self._weights[sp] = weight
+        h = _hash_sequence(sp, self._hash_mask)
+        bucket = self._buckets.get(len(sp))
+        if bucket is None:
+            self._buckets[len(sp)] = {h: 1}
+            self._tables_desc = sorted(self._buckets.items(), reverse=True)
+        else:
+            bucket[h] = bucket.get(h, 0) + 1
+        if len(sp) > self._max_len:
+            self._max_len = len(sp)
+
+    def weight(self, seq: Sequence[int]) -> Optional[int]:
+        return self._weights.get(tuple(seq))
+
+    def discard(self, seq: Sequence[int]) -> None:
+        sp = tuple(seq)
+        if self._weights.pop(sp, None) is None:
+            return
+        bucket = self._buckets[len(sp)]
+        h = _hash_sequence(sp, self._hash_mask)
+        remaining = bucket[h] - 1
+        if remaining:
+            bucket[h] = remaining
+        else:
+            del bucket[h]
+            if not bucket:
+                del self._buckets[len(sp)]
+                self._tables_desc = sorted(self._buckets.items(), reverse=True)
+                self._max_len = max(self._buckets, default=0)
+
+    def longest_match(self, path: Sequence[int], pos: int, cap: int) -> int:
+        limit = min(cap, self._max_len, len(path) - pos)
+        if limit < 2:
+            return 1
+        if path is not self._prepared_path:
+            self._prepare(path)
+        pre = self._prefix
+        pows = self._pows
+        mask = self._hash_mask
+        weights = self._weights
+        stats = self.stats
+        hp = pre[pos]
+        for length, bucket in self._tables_desc:
+            if length > limit:
+                continue
+            stats.probes += 1
+            stats.hashed_vertices += 1
+            window = (pre[pos + length] - hp * pows[length]) & _MASK64 & mask
+            if window in bucket:
+                # Explicit collision-verify: the hash only nominates.
+                stats.hashed_vertices += length
+                if tuple(path[pos : pos + length]) in weights:
+                    return length
+        return 1
+
+    def items(self) -> Iterator[Tuple[Subpath, int]]:
+        return iter(list(self._weights.items()))
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __repr__(self) -> str:
+        return (
+            f"RollingHashCandidates(entries={len(self._weights)}, "
+            f"lengths={sorted(self._buckets)}, hash_bits={self.hash_bits})"
+        )
+
+    def flat_kernel(self, table) -> "FlatBatchKernel":
+        """The batch kernel for *table*, cached by table identity.
+
+        Batch consumers (:func:`repro.core.compressor.compress_paths_flat`)
+        call per chunk; caching amortizes the kernel's table hashing and
+        membership bitmaps across chunks.  The cache assumes *table* is
+        frozen once compression starts — true for every
+        :class:`~repro.core.supernode_table.SupernodeTable` handed to the
+        compressor (tables never mutate after finalization).
+        """
+        kernel = self._kernel
+        if kernel is None or kernel.table is not table:
+            kernel = FlatBatchKernel(table, hash_bits=self.hash_bits)
+            self._kernel = kernel
+        return kernel
+
+    # -- preparation ----------------------------------------------------------------
+
+    def _prepare(self, path: Sequence[int]) -> None:
+        """Compute prefix hashes of *path* once; cached by object identity.
+
+        The cache holds a strong reference to *path*, so its ``id`` cannot be
+        recycled while cached.  Callers must not mutate a path between
+        probes (tuples and memoryviews over a corpus are safe; the builder
+        and the compressor only ever probe immutable paths).
+        """
+        n = len(path)
+        pows = self._pows
+        while len(pows) <= n:
+            pows.append((pows[-1] * HASH_BASE) & _MASK64)
+        prefix = [0] * (n + 1)
+        h = 0
+        i = 1
+        for v in path:
+            h = (h * HASH_BASE + v + 1) & _MASK64
+            prefix[i] = h
+            i += 1
+        self._prefix = prefix
+        self._prepared_path = path
+
+
+class FlatBatchKernel:
+    """Corpus-level rolling-hash matcher over a *static* supernode table.
+
+    Built once per batch from a :class:`~repro.core.supernode_table.
+    SupernodeTable`; :meth:`best_lengths` computes, for every symbol position
+    of a :class:`FlatCorpus`, the longest candidate length whose window hash
+    matches there (1 where none does).  The greedy compressor then walks
+    that array and verifies each nominated match against the table — the
+    only per-position Python work left.
+
+    :param table: the supernode table to match against.
+    :param hash_bits: see :class:`RollingHashCandidates`.
+    """
+
+    def __init__(self, table, hash_bits: int = 64) -> None:
+        self.table = table
+        self.hash_bits = hash_bits
+        self._hash_mask = (1 << hash_bits) - 1
+        self._by_length: Dict[int, set] = {}
+        for _, subpath in table:
+            self._by_length.setdefault(len(subpath), set()).add(
+                _hash_sequence(subpath, self._hash_mask)
+            )
+        self.lengths = sorted(self._by_length)
+        #: Work counters for the batch pass (probes = window tests issued,
+        #: hashed_vertices = O(1) window tests; verify costs are accounted
+        #: by the greedy loop in :func:`repro.core.compressor.compress_paths_flat`).
+        self.batch_probes = 0
+
+    @property
+    def available(self) -> bool:
+        """Whether the vectorized pass can run (numpy present)."""
+        return _np is not None
+
+    def best_lengths(self, corpus: FlatCorpus) -> Optional[List[int]]:
+        """Per-symbol best hash-nominated candidate length, or ``None``.
+
+        ``None`` means numpy is unavailable; the caller must fall back to a
+        per-path matcher.  The returned list has one entry per symbol of
+        ``corpus.buffer``; entry values are 1 (no candidate nominated) or a
+        candidate length L ≥ 2 with ``hash(window) ∈ table hashes``.
+        Nominations are upper bounds: the greedy loop must verify (and on a
+        rare collision, descend to shorter lengths).
+        """
+        if _np is None:
+            return None
+        arrays = corpus.as_numpy()
+        if arrays is None:  # pragma: no cover - as_numpy is None iff _np is
+            return None
+        buf_i64, offs = arrays
+        n_symbols = len(buf_i64)
+        if n_symbols == 0 or not self.lengths:
+            self.batch_probes = 0
+            return [1] * n_symbols
+
+        np = _np
+        buf = buf_i64.view(np.uint64)
+        path_lengths = np.diff(offs)
+        max_path_len = int(path_lengths.max()) if len(path_lengths) else 0
+        max_pow = max(max_path_len, self.lengths[-1]) + 1
+
+        # Powers of the base and its modular inverse, mod 2**64 (uint64
+        # multiplication wraps, which *is* the modulus).
+        base = np.uint64(HASH_BASE)
+        base_inv = np.uint64(pow(HASH_BASE, -1, 1 << 64))
+        pows = np.empty(max_pow + 1, dtype=np.uint64)
+        pows[0] = 1
+        np.multiply.accumulate(np.full(max_pow, base, dtype=np.uint64), out=pows[1:])
+        inv_pows = np.empty(max_path_len + 1, dtype=np.uint64)
+        inv_pows[0] = 1
+        if max_path_len:
+            np.multiply.accumulate(
+                np.full(max_path_len, base_inv, dtype=np.uint64), out=inv_pows[1:]
+            )
+
+        # Segmented prefix hashes over the flat buffer:
+        #   P[i] = hash of the path prefix ending at absolute position i
+        # via Q[i] = Σ (v_j + 1)·B^(-rel_j)  and  P[i] = Q_segment[i]·B^rel_i,
+        # which turns the per-path recurrence into one cumulative sum.
+        starts = np.repeat(offs[:-1], path_lengths)
+        rel = np.arange(n_symbols, dtype=np.int64) - starts
+        term = (buf + np.uint64(1)) * inv_pows[rel]
+        csum = np.cumsum(term, dtype=np.uint64)
+        seg_base = np.zeros(n_symbols, dtype=np.uint64)
+        interior = starts > 0
+        seg_base[interior] = csum[starts[interior] - 1]
+        prefix = (csum - seg_base) * pows[rel]
+        prefix_prev = np.empty(n_symbols, dtype=np.uint64)
+        prefix_prev[0] = 0
+        prefix_prev[1:] = prefix[:-1]
+        prefix_prev[rel == 0] = 0
+
+        ends = np.repeat(offs[1:], path_lengths)
+        idx = np.arange(n_symbols, dtype=np.int64)
+        best = np.ones(n_symbols, dtype=np.int64)
+        hash_mask = np.uint64(self._hash_mask)
+        probes = 0
+        # Ascending lengths so the longest nomination wins the final write.
+        for length in self.lengths:
+            span = n_symbols - length + 1
+            if span <= 0:
+                continue
+            windows = (prefix[length - 1 :] - prefix_prev[:span] * pows[length]) & hash_mask
+            in_path = idx[:span] + length <= ends[:span]
+            probes += int(in_path.sum())
+            hit = self._membership(length, windows)
+            hit &= in_path
+            best[:span][hit] = length
+        self.batch_probes = probes
+        return best.tolist()
+
+    def _membership(self, length: int, windows):
+        """Vectorized ``windows ∈ table-hashes-of-length`` (may over-report).
+
+        Uses a direct-addressed bitmap filter over the low hash bits; false
+        positives are fine (the greedy loop verifies every nomination), so
+        the filter width only trades memory for verify frequency.
+        """
+        np = _np
+        hashes = self._by_length[length]
+        filter_bits = min(20, self.hash_bits)
+        fmask = np.uint64((1 << filter_bits) - 1)
+        key = f"_filter_{length}_{filter_bits}"
+        bitmap = getattr(self, key, None)
+        if bitmap is None:
+            bitmap = np.zeros(1 << filter_bits, dtype=bool)
+            idx = np.fromiter(hashes, dtype=np.uint64, count=len(hashes))
+            bitmap[(idx & fmask).astype(np.int64)] = True
+            setattr(self, key, bitmap)
+        return bitmap[(windows & fmask).astype(np.int64)]

@@ -31,24 +31,79 @@ class CompressedPathStore:
     """Compressed, individually-retrievable storage for a path set.
 
     :param table: the supernode table paths are compressed against.
+    :param matcher_backend: longest-match backend for ingestion (``"hash"``,
+        ``"multilevel"``, ``"trie"`` or ``"rolling"``); output is identical
+        across backends, only probe cost differs.
 
     Build one with :meth:`from_dataset` (fits nothing — bring a trained
-    table or codec) or ingest incrementally with :meth:`append`.
+    table or codec), bulk-ingest a flat corpus with :meth:`from_corpus`, or
+    ingest incrementally with :meth:`append`.
     """
 
-    def __init__(self, table: SupernodeTable) -> None:
+    def __init__(self, table: SupernodeTable, matcher_backend: str = "hash") -> None:
         self.table = table
-        self._matcher: CandidateSet = static_matcher_from_table(table)
+        self.matcher_backend = matcher_backend
+        self._matcher: CandidateSet = static_matcher_from_table(table, matcher_backend)
         self._tokens: List[Tuple[int, ...]] = []
 
     # -- construction -------------------------------------------------------------
 
     @classmethod
-    def from_dataset(cls, dataset, table: SupernodeTable) -> "CompressedPathStore":
+    def from_dataset(
+        cls, dataset, table: SupernodeTable, matcher_backend: str = "hash"
+    ) -> "CompressedPathStore":
         """Compress every path of *dataset* into a new store."""
-        store = cls(table)
+        store = cls(table, matcher_backend=matcher_backend)
         store.extend(dataset)
         return store
+
+    @classmethod
+    def from_corpus(
+        cls, corpus, table: SupernodeTable, matcher_backend: str = "rolling"
+    ) -> "CompressedPathStore":
+        """Bulk-ingest a :class:`~repro.core.flatcorpus.FlatCorpus` (or any
+        path iterable) through the batch compression entry point.
+
+        Identical contents to :meth:`from_dataset`; the difference is purely
+        mechanical — one :func:`~repro.core.compressor.compress_paths_flat`
+        call (vectorized with the default ``rolling`` backend) instead of a
+        per-path loop.
+        """
+        store = cls(table, matcher_backend=matcher_backend)
+        store.extend_flat(corpus)
+        return store
+
+    def extend_flat(self, paths: Iterable[Sequence[int]]) -> List[int]:
+        """Bulk-append *paths* via the flat batch kernel; returns their ids.
+
+        Equivalent to :meth:`extend` token-for-token and counter-for-counter
+        (``store.ingested_*`` totals match); the batch route additionally
+        publishes the ``compress.*`` counters of the underlying
+        :func:`~repro.core.compressor.compress_paths_flat` call.
+        """
+        from repro.core.compressor import compress_paths_flat
+        from repro.core.flatcorpus import as_flat_corpus
+
+        corpus = as_flat_corpus(paths)
+        first_id = len(self._tokens)
+        obs = get_active()
+        if obs is None:
+            tokens = compress_paths_flat(corpus, self.table, self._matcher)
+            self._tokens.extend(tokens)
+            return list(range(first_id, len(self._tokens)))
+        with obs.tracer.span("store.ingest") as span, obs.registry.timeit(
+            "store.ingest.seconds"
+        ):
+            tokens = compress_paths_flat(corpus, self.table, self._matcher)
+            self._tokens.extend(tokens)
+            if span is not None:
+                span.add("paths", len(tokens))
+                span.add("flat", 1)
+        registry = obs.registry
+        registry.counter("store.ingested_paths").inc(len(tokens))
+        registry.counter("store.ingested_symbols_in").inc(corpus.total_symbols)
+        registry.counter("store.ingested_symbols_out").inc(sum(len(t) for t in tokens))
+        return list(range(first_id, len(self._tokens)))
 
     @classmethod
     def from_codec(cls, dataset, codec) -> "CompressedPathStore":

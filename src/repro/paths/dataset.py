@@ -121,6 +121,16 @@ class PathDataset:
             avg_length=(n_nodes / n_paths) if n_paths else 0.0,
         )
 
+    def to_flat(self):
+        """This dataset interned as a :class:`~repro.core.flatcorpus.FlatCorpus`.
+
+        The flat form is what the batch kernels and the parallel fan-out
+        consume; see :mod:`repro.core.flatcorpus`.
+        """
+        from repro.core.flatcorpus import FlatCorpus
+
+        return FlatCorpus.from_paths(self._paths, name=self.name)
+
     # -- sampling ------------------------------------------------------------
 
     def sample_every(self, stride: int) -> "PathDataset":

@@ -6,10 +6,13 @@ from repro.core.compressor import (
     chunked,
     compress_dataset,
     compress_path,
+    compress_paths_flat,
     decompress_dataset,
     decompress_path,
+    decompress_paths_flat,
 )
 from repro.core.errors import TableError
+from repro.core.flatcorpus import FlatCorpus
 from repro.core.matcher import static_matcher_from_table
 from repro.core.supernode_table import SupernodeTable
 
@@ -95,6 +98,53 @@ class TestRoundtrip:
         assert decompress_dataset(tokens, table) == [tuple(p) for p in paths]
 
 
+class TestFlatBatch:
+    PATHS = [(1, 2, 3, 9), (4, 5), (6, 7), (), (1, 2, 3, 4, 5, 1, 2)]
+
+    @pytest.mark.parametrize("backend", ["hash", "multilevel", "trie", "rolling"])
+    def test_matches_per_path_loop(self, table, backend):
+        matcher = static_matcher_from_table(table, backend)
+        expected = compress_dataset(self.PATHS, table)
+        assert compress_paths_flat(self.PATHS, table, matcher) == expected
+
+    def test_accepts_corpus_and_iterables(self, table):
+        corpus = FlatCorpus.from_paths(self.PATHS)
+        assert compress_paths_flat(corpus, table) == compress_dataset(self.PATHS, table)
+
+    def test_as_corpus_round_trip(self, table):
+        matcher = static_matcher_from_table(table, "rolling")
+        tokens = compress_paths_flat(self.PATHS, table, matcher, as_corpus=True)
+        assert isinstance(tokens, FlatCorpus)
+        restored = decompress_paths_flat(tokens, table)
+        assert restored == [tuple(p) for p in self.PATHS]
+
+    def test_decompress_as_corpus(self, table):
+        tokens = compress_dataset(self.PATHS, table)
+        restored = decompress_paths_flat(tokens, table, as_corpus=True)
+        assert isinstance(restored, FlatCorpus)
+        assert restored.to_paths() == [tuple(p) for p in self.PATHS]
+
+    def test_literal_collision_raises_for_every_backend(self, table):
+        for backend in ("hash", "rolling"):
+            matcher = static_matcher_from_table(table, backend)
+            with pytest.raises(TableError, match="collides"):
+                compress_paths_flat([(100, 1)], table, matcher)
+
+    def test_empty_corpus(self, table):
+        matcher = static_matcher_from_table(table, "rolling")
+        assert compress_paths_flat([], table, matcher) == []
+        assert decompress_paths_flat([], table) == []
+
+    def test_adversarial_hash_bits_still_identical(self, table):
+        from repro.core.rollhash import RollingHashCandidates
+
+        matcher = RollingHashCandidates(hash_bits=2)
+        for _, subpath in table:
+            matcher.add(subpath, 0)
+        expected = compress_dataset(self.PATHS, table)
+        assert compress_paths_flat(self.PATHS, table, matcher) == expected
+
+
 class TestChunked:
     def test_chunks_cover_everything_in_order(self):
         items = list(range(10))
@@ -107,3 +157,11 @@ class TestChunked:
     def test_bad_chunk_size(self):
         with pytest.raises(ValueError):
             list(chunked([1], 0))
+
+    @pytest.mark.parametrize("bad", [0, -1, -2048])
+    def test_bad_chunk_size_raises_eagerly(self, bad):
+        # Regression: chunked() used to be a bare generator, so a bad size
+        # only surfaced at first iteration — storing the result silently
+        # yielded nothing.  Validation must fire at call time.
+        with pytest.raises(ValueError, match="chunk_size must be >= 1"):
+            chunked([1, 2, 3], bad)

@@ -1,16 +1,21 @@
-"""Property-based equivalence of the three matcher backends.
+"""Property-based equivalence of the matcher backends.
 
-Algorithm 6 (flat hash), Algorithm 7 (two-level hash) and the §IV-D trie
-must be *observationally identical*: same contents → same weights, same
-longest-match answers at every position and cap.  Only probe cost may
-differ.  Hypothesis drives random candidate sets and queries through all
-three at once.
+Algorithm 6 (flat hash), Algorithm 7 (two-level hash), the §IV-D trie and
+the rolling-hash backend must be *observationally identical*: same contents
+→ same weights, same longest-match answers at every position and cap.  Only
+probe cost may differ.  Hypothesis drives random candidate sets and queries
+through all of them at once.
+
+The rolling backend appears twice: at full 64-bit hash width and at an
+adversarial 2-bit width, where nearly every window hash collides — the
+explicit verify step must keep answers exact regardless.
 """
 
 from hypothesis import given, settings, strategies as st
 
 from repro.core.matcher import HashCandidates
 from repro.core.multilevel import MultiLevelCandidates
+from repro.core.rollhash import RollingHashCandidates
 from repro.core.trie import TrieCandidates
 
 candidate = st.lists(st.integers(min_value=0, max_value=9), min_size=2, max_size=8).map(tuple)
@@ -19,19 +24,29 @@ query_path = st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_siz
 
 
 def _populate(entries):
-    backends = [HashCandidates(), MultiLevelCandidates(alpha=4), TrieCandidates()]
+    backends = [
+        HashCandidates(),
+        MultiLevelCandidates(alpha=4),
+        TrieCandidates(),
+        RollingHashCandidates(),
+        RollingHashCandidates(hash_bits=2),  # adversarial collision regime
+    ]
     for seq, weight in entries:
         for backend in backends:
             backend.add(seq, weight)
     return backends
 
 
+def _label(index, backend):
+    return f"{index}:{type(backend).__name__}"
+
+
 @given(candidates, query_path, st.integers(min_value=1, max_value=10))
 def test_longest_match_identical(entries, path, cap):
     backends = _populate(entries)
     answers = {
-        type(b).__name__: [b.longest_match(path, pos, cap) for pos in range(len(path))]
-        for b in backends
+        _label(i, b): [b.longest_match(path, pos, cap) for pos in range(len(path))]
+        for i, b in enumerate(backends)
     }
     assert len(set(map(tuple, answers.values()))) == 1, answers
 
@@ -40,14 +55,14 @@ def test_longest_match_identical(entries, path, cap):
 def test_contents_identical(entries):
     backends = _populate(entries)
     views = [dict(b.items()) for b in backends]
-    assert views[0] == views[1] == views[2]
+    assert all(view == views[0] for view in views)
 
 
 @given(candidates, st.integers(min_value=1, max_value=10))
 def test_top_candidates_identical(entries, keep):
     backends = _populate(entries)
     tops = [b.top_candidates(keep) for b in backends]
-    assert tops[0] == tops[1] == tops[2]
+    assert all(top == tops[0] for top in tops)
 
 
 @given(candidates, st.lists(candidate, max_size=10))
@@ -57,8 +72,8 @@ def test_discard_identical(entries, to_discard):
         for b in backends:
             b.discard(seq)
     views = [dict(b.items()) for b in backends]
-    assert views[0] == views[1] == views[2]
-    assert len(backends[0]) == len(backends[1]) == len(backends[2])
+    assert all(view == views[0] for view in views)
+    assert len({len(b) for b in backends}) == 1
 
 
 @settings(max_examples=30)

@@ -10,9 +10,10 @@ import pytest
 
 from repro.core.matcher import HashCandidates, make_candidate_set
 from repro.core.multilevel import MultiLevelCandidates
+from repro.core.rollhash import RollingHashCandidates
 from repro.core.trie import TrieCandidates
 
-BACKENDS = ["hash", "multilevel", "trie"]
+BACKENDS = ["hash", "multilevel", "trie", "rolling"]
 
 
 @pytest.fixture(params=BACKENDS)
@@ -204,3 +205,4 @@ class TestFactory:
         assert isinstance(make_candidate_set("hash"), HashCandidates)
         assert isinstance(make_candidate_set("multilevel"), MultiLevelCandidates)
         assert isinstance(make_candidate_set("trie"), TrieCandidates)
+        assert isinstance(make_candidate_set("rolling"), RollingHashCandidates)

@@ -1,0 +1,193 @@
+"""Tests for the rolling-hash backend and its vectorized batch kernel.
+
+The contract under test: ``RollingHashCandidates`` returns match lengths
+identical to the baseline ``HashCandidates`` for any contents (including
+under forced hash collisions), and ``FlatBatchKernel`` nominations drive
+``compress_paths_flat`` to output byte-identical to the per-path loop.
+"""
+
+import random
+
+import pytest
+
+from repro.core.builder import TableBuilder
+from repro.core.compressor import compress_dataset, compress_paths_flat
+from repro.core.config import OFFSConfig
+from repro.core.flatcorpus import FlatCorpus
+from repro.core.matcher import HashCandidates, make_candidate_set, static_matcher_from_table
+from repro.core.rollhash import FlatBatchKernel, RollingHashCandidates, _hash_sequence
+from repro.core.supernode_table import SupernodeTable
+
+
+def _random_corpus(rng, n_paths=120, alphabet=12, max_len=15):
+    return [
+        tuple(rng.randrange(alphabet) for _ in range(rng.randrange(max_len)))
+        for _ in range(n_paths)
+    ]
+
+
+class TestDynamicBackend:
+    def test_factory_registration(self):
+        assert isinstance(make_candidate_set("rolling"), RollingHashCandidates)
+
+    def test_bad_hash_bits(self):
+        with pytest.raises(ValueError):
+            RollingHashCandidates(hash_bits=0)
+        with pytest.raises(ValueError):
+            RollingHashCandidates(hash_bits=65)
+
+    @pytest.mark.parametrize("hash_bits", [64, 8, 2, 1])
+    def test_matches_baseline_on_random_contents(self, hash_bits):
+        rng = random.Random(hash_bits)
+        baseline = HashCandidates()
+        rolling = RollingHashCandidates(hash_bits=hash_bits)
+        for _ in range(60):
+            seq = tuple(rng.randrange(8) for _ in range(rng.randrange(2, 7)))
+            baseline.add(seq, 1)
+            rolling.add(seq, 1)
+        for path in _random_corpus(rng, n_paths=80, alphabet=8):
+            for pos in range(len(path)):
+                for cap in (2, 4, 8):
+                    assert rolling.longest_match(path, pos, cap) == \
+                        baseline.longest_match(path, pos, cap), (path, pos, cap)
+
+    def test_discard_updates_buckets(self):
+        rolling = RollingHashCandidates()
+        rolling.add((1, 2, 3))
+        rolling.add((1, 2))
+        assert rolling.longest_match((1, 2, 3), 0, 8) == 3
+        rolling.discard((1, 2, 3))
+        assert rolling.longest_match((1, 2, 3), 0, 8) == 2
+        rolling.discard((1, 2))
+        assert rolling.longest_match((1, 2, 3), 0, 8) == 1
+        assert len(rolling) == 0
+
+    def test_shared_hash_distinct_candidates_survive_discard(self):
+        # With hash_bits=1 every candidate shares one of two buckets;
+        # discarding one must not evict the others (refcounted buckets).
+        rolling = RollingHashCandidates(hash_bits=1)
+        seqs = [(1, 2), (2, 3), (3, 4), (4, 5)]
+        for s in seqs:
+            rolling.add(s)
+        rolling.discard(seqs[0])
+        for s in seqs[1:]:
+            assert rolling.longest_match(s, 0, 8) == 2
+
+    def test_probe_stats_move(self):
+        rolling = RollingHashCandidates()
+        rolling.add((1, 2, 3))
+        rolling.longest_match((1, 2, 3, 4), 0, 8)
+        assert rolling.stats.probes >= 1
+        assert rolling.stats.hashed_vertices >= 1
+
+    def test_builder_with_rolling_matcher_builds_same_table(self):
+        from repro.workloads.registry import make_dataset
+
+        ds = make_dataset("alibaba", "tiny", seed=3)
+        cfg = OFFSConfig(iterations=2, sample_exponent=1)
+        hash_table, _ = TableBuilder(cfg).build(ds)
+        roll_table, _ = TableBuilder(cfg.with_(matcher="rolling")).build(ds)
+        assert roll_table == hash_table
+
+
+class TestHashSequence:
+    def test_masking(self):
+        full = _hash_sequence((1, 2, 3), (1 << 64) - 1)
+        low = _hash_sequence((1, 2, 3), (1 << 8) - 1)
+        assert low == full & 0xFF
+
+    def test_content_function(self):
+        mask = (1 << 64) - 1
+        assert _hash_sequence((1, 2), mask) == _hash_sequence((1, 2), mask)
+        assert _hash_sequence((1, 2), mask) != _hash_sequence((2, 1), mask)
+
+
+class TestFlatBatchKernel:
+    @pytest.fixture()
+    def table(self):
+        return SupernodeTable(100, [(1, 2, 3), (1, 2), (4, 5), (2, 3, 4, 5)])
+
+    def test_kernel_nominations_superset_of_matches(self, table):
+        kernel = FlatBatchKernel(table)
+        if not kernel.available:
+            pytest.skip("numpy unavailable")
+        paths = [(1, 2, 3, 4, 5), (4, 5, 1, 2), (9, 9)]
+        corpus = FlatCorpus.from_paths(paths)
+        best = kernel.best_lengths(corpus)
+        offsets = corpus.offsets
+        inverted = table.inverted()
+        for i, path in enumerate(paths):
+            for pos in range(len(path)):
+                nominated = best[offsets[i] + pos]
+                # A true candidate at (pos, L) always hash-hits, so the
+                # nomination is an upper bound on the longest real match.
+                longest_real = 1
+                for length in range(2, len(path) - pos + 1):
+                    if path[pos : pos + length] in inverted:
+                        longest_real = length
+                assert nominated >= longest_real
+
+    def test_batch_probes_counted(self, table):
+        kernel = FlatBatchKernel(table)
+        if not kernel.available:
+            pytest.skip("numpy unavailable")
+        kernel.best_lengths(FlatCorpus.from_paths([(1, 2, 3, 4, 5)]))
+        assert kernel.batch_probes > 0
+
+    def test_empty_corpus(self, table):
+        kernel = FlatBatchKernel(table)
+        if not kernel.available:
+            pytest.skip("numpy unavailable")
+        assert kernel.best_lengths(FlatCorpus.from_paths([])) == []
+
+    def test_empty_table(self):
+        kernel = FlatBatchKernel(SupernodeTable(100))
+        if not kernel.available:
+            pytest.skip("numpy unavailable")
+        best = kernel.best_lengths(FlatCorpus.from_paths([(1, 2, 3)]))
+        assert best == [1, 1, 1]
+
+
+class TestBatchEquivalence:
+    """compress_paths_flat(rolling) must be byte-identical to the loop."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_tables_and_corpora(self, seed):
+        rng = random.Random(seed)
+        paths = _random_corpus(rng)
+        subpaths = set()
+        for _ in range(40):
+            sp = tuple(rng.randrange(12) for _ in range(rng.randrange(2, 8)))
+            subpaths.add(sp)
+        table = SupernodeTable(1000, sorted(subpaths))
+        expected = compress_dataset(paths, table)
+        matcher = static_matcher_from_table(table, "rolling")
+        assert compress_paths_flat(paths, table, matcher) == expected
+
+    @pytest.mark.parametrize("hash_bits", [8, 2, 1])
+    def test_adversarial_collisions(self, hash_bits):
+        # Tiny hash widths make nearly every window a false-positive
+        # nomination; the verify/descend loop must still land on exactly
+        # the greedy per-path answer.
+        rng = random.Random(hash_bits)
+        paths = _random_corpus(rng, n_paths=60, alphabet=6, max_len=12)
+        table = SupernodeTable(
+            1000,
+            sorted({
+                tuple(rng.randrange(6) for _ in range(rng.randrange(2, 6)))
+                for _ in range(30)
+            }),
+        )
+        matcher = RollingHashCandidates(hash_bits=hash_bits)
+        for _, sp in table:
+            matcher.add(sp, 0)
+        assert compress_paths_flat(paths, table, matcher) == compress_dataset(paths, table)
+
+    def test_workload_scale(self):
+        from repro.workloads.registry import make_dataset
+
+        ds = make_dataset("alibaba", "tiny", seed=11)
+        table, _ = TableBuilder(OFFSConfig(iterations=3, sample_exponent=1)).build(ds)
+        expected = compress_dataset(list(ds), table)
+        matcher = static_matcher_from_table(table, "rolling")
+        assert compress_paths_flat(ds.to_flat(), table, matcher) == expected
