@@ -8,11 +8,14 @@ install:
 test:
 	pytest tests/
 
-# Dependency-free lint: byte-compile every tree (catches syntax errors)
-# and import the public packages (catches broken imports / circulars).
+# Dependency-free lint: byte-compile every tree (catches syntax errors),
+# import the public packages (catches broken imports / circulars), then run
+# the project's own static analyzer (OFFS invariants R001-R006; exit 1 on
+# any non-baselined finding -- see docs/static-analysis.md).
 lint:
 	python -m compileall -q src tests benchmarks examples
 	PYTHONPATH=src python -c "import repro, repro.obs, repro.cli, repro.bench.runner"
+	PYTHONPATH=src python -m repro.lint --format json
 
 bench:
 	pytest benchmarks/ --benchmark-only

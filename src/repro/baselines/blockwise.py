@@ -80,6 +80,10 @@ class BlockwiseZlibStore:
         start = sum(lengths[:offset])
         return tuple(values[start : start + lengths[offset]])
 
+    def decompress_dataset(self) -> List[Tuple[int, ...]]:
+        """Inverse of :meth:`compress_dataset`: every path, in ingest order."""
+        return self.retrieve_all()
+
     def retrieve_all(self) -> List[Tuple[int, ...]]:
         """Decompress every block and return all paths in order."""
         out: List[Tuple[int, ...]] = []

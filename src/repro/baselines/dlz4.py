@@ -125,3 +125,10 @@ def compress_paths_dlz4(
     """Fit a :class:`Dlz4Codec` on *dataset* and compress all of it."""
     codec = Dlz4Codec(backend=backend, **kwargs).fit(dataset)
     return codec, codec.compress_dataset(dataset)
+
+
+def decompress_paths_dlz4(
+    codec: Dlz4Codec, tokens: Sequence[bytes]
+) -> List[Tuple[int, ...]]:
+    """Inverse of :func:`compress_paths_dlz4` given its fitted codec."""
+    return [codec.decompress_path(token) for token in tokens]

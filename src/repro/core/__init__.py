@@ -33,11 +33,14 @@ from repro.core.compressor import (
 from repro.core.flatcorpus import FlatCorpus, as_flat_corpus
 from repro.core.config import OFFSConfig
 from repro.core.errors import (
+    BoundsError,
     ConfigError,
     CorruptDataError,
+    InvalidInputError,
     NotFittedError,
     PathIdError,
     ReproError,
+    StateError,
     TableError,
 )
 from repro.core.matcher import CandidateSet, HashCandidates, make_candidate_set
@@ -76,11 +79,14 @@ __all__ = [
     "FlatBatchKernel",
     "RollingHashCandidates",
     "OFFSConfig",
+    "BoundsError",
     "ConfigError",
     "CorruptDataError",
+    "InvalidInputError",
     "NotFittedError",
     "PathIdError",
     "ReproError",
+    "StateError",
     "TableError",
     "CandidateSet",
     "parallel_compress",

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import measure_codec
 from repro.core.config import OFFSConfig
+from repro.core.errors import InvalidInputError
 from repro.core.offs import OFFSCodec
 from repro.paths.dataset import PathDataset
 
@@ -115,7 +116,7 @@ def choose(
     :returns: ``(default_mode, fast_mode)``.
     """
     if not points:
-        raise ValueError("no tuning points to choose from")
+        raise InvalidInputError("no tuning points to choose from")
     best_cr = max(p.compression_ratio for p in points)
     default_pool = [
         p for p in points if p.compression_ratio >= (1 - cr_tolerance) * best_cr

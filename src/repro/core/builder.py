@@ -44,6 +44,7 @@ from repro.core.config import OFFSConfig
 from repro.core.flatcorpus import as_flat_corpus
 from repro.core.matcher import CandidateSet, make_candidate_set
 from repro.core.supernode_table import SupernodeTable
+from repro.obs import catalog
 from repro.obs.runtime import active_span, get_active
 
 Subpath = Tuple[int, ...]
@@ -104,7 +105,7 @@ class TableBuilder:
 
     def initialize(self, paths: Sequence[Sequence[int]]) -> CandidateSet:
         """Stage 1: seed the candidate set with every distinct edge, weight 1."""
-        with active_span("build.initialize") as span:
+        with active_span(catalog.SPAN_BUILD_INITIALIZE) as span:
             cands = make_candidate_set(self.config.matcher, alpha=self.config.alpha)
             for path in paths:
                 for i in range(len(path) - 1):
@@ -139,7 +140,9 @@ class TableBuilder:
         obs = get_active()
         probes_before = cands.stats.snapshot() if obs is not None else None
 
-        with active_span("build.iteration", iteration=iteration, cap=cap) as span:
+        with active_span(
+            catalog.SPAN_BUILD_ITERATION, iteration=iteration, cap=cap
+        ) as span:
             cands.reset_weights()
             for path in paths:
                 n = len(path)
@@ -181,10 +184,12 @@ class TableBuilder:
                 span.add("pruned", pruned)
         if obs is not None:
             registry = obs.registry
-            registry.counter("build.iterations").inc()
-            registry.counter("build.matches").inc(matches_counted)
-            registry.counter("build.candidates_pruned").inc(pruned)
-            cands.stats.delta_since(probes_before).publish(registry, "build.matcher")
+            registry.counter(catalog.BUILD_ITERATIONS).inc()
+            registry.counter(catalog.BUILD_MATCHES).inc(matches_counted)
+            registry.counter(catalog.BUILD_CANDIDATES_PRUNED).inc(pruned)
+            cands.stats.delta_since(probes_before).publish(
+                registry, catalog.PROBE_PREFIX_BUILD_MATCHER
+            )
 
         return IterationStats(
             iteration=iteration,
@@ -201,7 +206,7 @@ class TableBuilder:
 
         Returns the table and the number of candidates dropped.
         """
-        with active_span("build.finalize"):
+        with active_span(catalog.SPAN_BUILD_FINALIZE):
             return self._finalize(cands, base_id)
 
     def _finalize(self, cands: CandidateSet, base_id: int) -> Tuple[SupernodeTable, int]:
@@ -233,7 +238,7 @@ class TableBuilder:
         started = time.perf_counter()
         report = BuildReport()
 
-        with active_span("build", matcher=self.config.matcher) as span:
+        with active_span(catalog.SPAN_BUILD, matcher=self.config.matcher) as span:
             # Intern the dataset once: base_id becomes a single (vectorized
             # where numpy exists) max over the flat buffer, and sampling
             # materializes only the sampled paths as tuples — the full
@@ -286,12 +291,12 @@ class TableBuilder:
         obs = get_active()
         if obs is not None:
             registry = obs.registry
-            registry.counter("build.sampled_paths").inc(report.sampled_paths)
-            registry.counter("build.sampled_nodes").inc(report.sampled_nodes)
-            registry.counter("build.dropped_at_finalization").inc(dropped)
-            registry.set_gauge("build.table_entries", len(table))
-            registry.set_gauge("build.lambda_capacity", lam)
-            registry.observe("build.seconds", report.elapsed_seconds)
+            registry.counter(catalog.BUILD_SAMPLED_PATHS).inc(report.sampled_paths)
+            registry.counter(catalog.BUILD_SAMPLED_NODES).inc(report.sampled_nodes)
+            registry.counter(catalog.BUILD_DROPPED_AT_FINALIZATION).inc(dropped)
+            registry.set_gauge(catalog.BUILD_TABLE_ENTRIES, len(table))
+            registry.set_gauge(catalog.BUILD_LAMBDA_CAPACITY, lam)
+            registry.observe(catalog.BUILD_SECONDS, report.elapsed_seconds)
         return table, report
 
 

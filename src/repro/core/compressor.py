@@ -22,10 +22,11 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.errors import TableError
+from repro.core.errors import InvalidInputError, TableError
 from repro.core.flatcorpus import FlatCorpus, as_flat_corpus
 from repro.core.matcher import CandidateSet, static_matcher_from_table
 from repro.core.supernode_table import SupernodeTable
+from repro.obs import catalog
 from repro.obs.runtime import get_active
 
 CompressedPath = Tuple[int, ...]
@@ -115,7 +116,9 @@ def compress_dataset(
         return [compress_path(p, table, matcher) for p in paths]
 
     probes_before = matcher.stats.snapshot()
-    with obs.tracer.span("compress") as span, obs.registry.timeit("compress.seconds"):
+    with obs.tracer.span(catalog.SPAN_COMPRESS) as span, obs.registry.timeit(
+        catalog.COMPRESS_SECONDS
+    ):
         out: List[CompressedPath] = []
         symbols_in = 0
         for p in paths:
@@ -127,10 +130,12 @@ def compress_dataset(
             span.add("symbols_in", symbols_in)
             span.add("symbols_out", symbols_out)
     registry = obs.registry
-    registry.counter("compress.paths").inc(len(out))
-    registry.counter("compress.symbols_in").inc(symbols_in)
-    registry.counter("compress.symbols_out").inc(symbols_out)
-    matcher.stats.delta_since(probes_before).publish(registry, "matcher")
+    registry.counter(catalog.COMPRESS_PATHS).inc(len(out))
+    registry.counter(catalog.COMPRESS_SYMBOLS_IN).inc(symbols_in)
+    registry.counter(catalog.COMPRESS_SYMBOLS_OUT).inc(symbols_out)
+    matcher.stats.delta_since(probes_before).publish(
+        registry, catalog.PROBE_PREFIX_MATCHER
+    )
     return out
 
 
@@ -147,8 +152,8 @@ def decompress_dataset(
     if obs is None:
         return [decompress_path(c, table) for c in compressed_paths]
 
-    with obs.tracer.span("decompress") as span, obs.registry.timeit(
-        "decompress.seconds"
+    with obs.tracer.span(catalog.SPAN_DECOMPRESS) as span, obs.registry.timeit(
+        catalog.DECOMPRESS_SECONDS
     ):
         out: List[Tuple[int, ...]] = []
         symbols_in = 0
@@ -161,9 +166,9 @@ def decompress_dataset(
             span.add("symbols_in", symbols_in)
             span.add("symbols_out", symbols_out)
     registry = obs.registry
-    registry.counter("decompress.paths").inc(len(out))
-    registry.counter("decompress.symbols_in").inc(symbols_in)
-    registry.counter("decompress.symbols_out").inc(symbols_out)
+    registry.counter(catalog.DECOMPRESS_PATHS).inc(len(out))
+    registry.counter(catalog.DECOMPRESS_SYMBOLS_IN).inc(symbols_in)
+    registry.counter(catalog.DECOMPRESS_SYMBOLS_OUT).inc(symbols_out)
     return out
 
 
@@ -197,7 +202,9 @@ def compress_paths_flat(
         return FlatCorpus.from_paths(out, name=corpus.name) if as_corpus else out
 
     probes_before = matcher.stats.snapshot()
-    with obs.tracer.span("compress") as span, obs.registry.timeit("compress.seconds"):
+    with obs.tracer.span(catalog.SPAN_COMPRESS) as span, obs.registry.timeit(
+        catalog.COMPRESS_SECONDS
+    ):
         out = _compress_corpus(corpus, table, matcher)
         symbols_in = corpus.total_symbols
         symbols_out = sum(len(t) for t in out)
@@ -207,11 +214,13 @@ def compress_paths_flat(
             span.add("symbols_out", symbols_out)
             span.add("flat", 1)
     registry = obs.registry
-    registry.counter("compress.paths").inc(len(out))
-    registry.counter("compress.symbols_in").inc(symbols_in)
-    registry.counter("compress.symbols_out").inc(symbols_out)
-    registry.counter("compress.flat_batches").inc()
-    matcher.stats.delta_since(probes_before).publish(registry, "matcher")
+    registry.counter(catalog.COMPRESS_PATHS).inc(len(out))
+    registry.counter(catalog.COMPRESS_SYMBOLS_IN).inc(symbols_in)
+    registry.counter(catalog.COMPRESS_SYMBOLS_OUT).inc(symbols_out)
+    registry.counter(catalog.COMPRESS_FLAT_BATCHES).inc()
+    matcher.stats.delta_since(probes_before).publish(
+        registry, catalog.PROBE_PREFIX_MATCHER
+    )
     return FlatCorpus.from_paths(out, name=corpus.name) if as_corpus else out
 
 
@@ -307,8 +316,8 @@ def decompress_paths_flat(
         out = [decompress_path(corpus.path(i), table) for i in range(len(corpus))]
         return FlatCorpus.from_paths(out, name=corpus.name) if as_corpus else out
 
-    with obs.tracer.span("decompress") as span, obs.registry.timeit(
-        "decompress.seconds"
+    with obs.tracer.span(catalog.SPAN_DECOMPRESS) as span, obs.registry.timeit(
+        catalog.DECOMPRESS_SECONDS
     ):
         out = [decompress_path(corpus.path(i), table) for i in range(len(corpus))]
         symbols_in = corpus.total_symbols
@@ -319,9 +328,9 @@ def decompress_paths_flat(
             span.add("symbols_out", symbols_out)
             span.add("flat", 1)
     registry = obs.registry
-    registry.counter("decompress.paths").inc(len(out))
-    registry.counter("decompress.symbols_in").inc(symbols_in)
-    registry.counter("decompress.symbols_out").inc(symbols_out)
+    registry.counter(catalog.DECOMPRESS_PATHS).inc(len(out))
+    registry.counter(catalog.DECOMPRESS_SYMBOLS_IN).inc(symbols_in)
+    registry.counter(catalog.DECOMPRESS_SYMBOLS_OUT).inc(symbols_out)
     return FlatCorpus.from_paths(out, name=corpus.name) if as_corpus else out
 
 
@@ -332,13 +341,13 @@ def chunked(items: Sequence, chunk_size: int) -> Iterable[Sequence]:
     ``compress_dataset``/``decompress_dataset`` over these chunks to realize
     the paper's ``O(|P| · δ² / p)`` parallel bound.
 
-    Raises :class:`ValueError` for ``chunk_size <= 0`` *eagerly* (at call
-    time, not first iteration) — a generator that validated lazily would let
-    ``chunked(items, 0)`` pass silently anywhere the result is stored before
-    being consumed.
+    Raises :class:`~repro.core.errors.InvalidInputError` (a ValueError) for
+    ``chunk_size <= 0`` *eagerly* (at call time, not first iteration) — a
+    generator that validated lazily would let ``chunked(items, 0)`` pass
+    silently anywhere the result is stored before being consumed.
     """
     if chunk_size < 1:
-        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        raise InvalidInputError(f"chunk_size must be >= 1, got {chunk_size}")
 
     def _generate() -> Iterable[Sequence]:
         for start in range(0, len(items), chunk_size):

@@ -30,3 +30,19 @@ class CorruptDataError(ReproError, ValueError):
 
 class PathIdError(ReproError, KeyError):
     """A path id is unknown to the compressed store."""
+
+
+class InvalidInputError(ReproError, ValueError):
+    """A caller-supplied argument is out of range or malformed.
+
+    Deliberately also a :class:`ValueError` so call sites written against
+    the stdlib convention keep working.
+    """
+
+
+class StateError(ReproError, RuntimeError):
+    """An object was used outside its legal lifecycle (also RuntimeError)."""
+
+
+class BoundsError(ReproError, IndexError):
+    """A positional index is out of range (also IndexError)."""

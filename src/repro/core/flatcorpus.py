@@ -26,6 +26,8 @@ from __future__ import annotations
 from array import array
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.errors import BoundsError, InvalidInputError
+
 Subpath = Tuple[int, ...]
 
 #: What :meth:`FlatCorpus.to_shipping` produces: raw buffer bytes and raw
@@ -56,9 +58,9 @@ class FlatCorpus:
 
     def __init__(self, buffer, offsets, name: str = "corpus") -> None:
         if len(offsets) == 0 or offsets[0] != 0:
-            raise ValueError("offsets must start at 0")
+            raise InvalidInputError("offsets must start at 0")
         if offsets[-1] != len(buffer):
-            raise ValueError(
+            raise InvalidInputError(
                 f"offsets end ({offsets[-1]}) must equal buffer length ({len(buffer)})"
             )
         self.buffer = buffer
@@ -129,7 +131,7 @@ class FlatCorpus:
         if index < 0:
             index += len(self)
         if not 0 <= index < len(self):
-            raise IndexError(f"path index {index} out of range")
+            raise BoundsError(f"path index {index} out of range")
         return tuple(self.buffer[self.offsets[index] : self.offsets[index + 1]])
 
     def view(self, index: int) -> memoryview:
@@ -137,7 +139,7 @@ class FlatCorpus:
         if index < 0:
             index += len(self)
         if not 0 <= index < len(self):
-            raise IndexError(f"path index {index} out of range")
+            raise BoundsError(f"path index {index} out of range")
         return memoryview(self.buffer)[self.offsets[index] : self.offsets[index + 1]]
 
     def lengths(self) -> List[int]:
@@ -196,14 +198,14 @@ class FlatCorpus:
     def chunks(self, chunk_size: int) -> Iterator["FlatCorpus"]:
         """Contiguous zero-copy chunks of at most *chunk_size* paths."""
         if chunk_size < 1:
-            raise ValueError("chunk_size must be >= 1")
+            raise InvalidInputError("chunk_size must be >= 1")
         for start in range(0, len(self), chunk_size):
             yield self.chunk(start, start + chunk_size)
 
     def every(self, stride: int) -> "FlatCorpus":
         """Every *stride*-th path as a new corpus (the paper's sampling)."""
         if stride < 1:
-            raise ValueError("stride must be >= 1")
+            raise InvalidInputError("stride must be >= 1")
         if stride == 1:
             return self
         buffer = array("q")

@@ -25,6 +25,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.errors import ConfigError, InvalidInputError
+
 Subpath = Tuple[int, ...]
 
 
@@ -151,7 +153,7 @@ class HashCandidates(CandidateSet):
     def add(self, seq: Sequence[int], weight: int = 1) -> None:
         sp = tuple(seq)
         if len(sp) < 2:
-            raise ValueError(f"candidates need >= 2 vertices, got {sp!r}")
+            raise InvalidInputError(f"candidates need >= 2 vertices, got {sp!r}")
         self._weights[sp] = self._weights.get(sp, 0) + weight
         if len(sp) > self._max_len:
             self._max_len = len(sp)
@@ -220,4 +222,4 @@ def make_candidate_set(backend: str, alpha: int = 5) -> CandidateSet:
         from repro.core.rollhash import RollingHashCandidates
 
         return RollingHashCandidates()
-    raise ValueError(f"unknown matcher backend {backend!r}")
+    raise ConfigError(f"unknown matcher backend {backend!r}")

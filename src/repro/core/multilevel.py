@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Optional, Sequence, Tuple
 
+from repro.core.errors import InvalidInputError
 from repro.core.matcher import CandidateSet, Subpath
 
 
@@ -40,7 +41,7 @@ class MultiLevelCandidates(CandidateSet):
     def __init__(self, alpha: int = 5, promote_prefixes: bool = False) -> None:
         super().__init__()
         if alpha < 1:
-            raise ValueError("alpha must be >= 1")
+            raise InvalidInputError("alpha must be >= 1")
         self.alpha = alpha
         self.promote_prefixes = promote_prefixes
         self._h1: Dict[Subpath, int] = {}
@@ -52,7 +53,7 @@ class MultiLevelCandidates(CandidateSet):
     def add(self, seq: Sequence[int], weight: int = 1) -> None:
         sp = tuple(seq)
         if len(sp) < 2:
-            raise ValueError(f"candidates need >= 2 vertices, got {sp!r}")
+            raise InvalidInputError(f"candidates need >= 2 vertices, got {sp!r}")
         if len(sp) <= self.alpha:
             self._h1[sp] = self._h1.get(sp, 0) + weight
         else:

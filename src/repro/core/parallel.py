@@ -39,6 +39,7 @@ import multiprocessing
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.compressor import compress_paths_flat, decompress_paths_flat
+from repro.core.errors import InvalidInputError
 from repro.core.flatcorpus import FlatCorpus, ShippedCorpus, as_flat_corpus
 from repro.core.matcher import CandidateSet, static_matcher_from_table
 from repro.core.supernode_table import SupernodeTable
@@ -109,9 +110,9 @@ def _run_parallel(
     backend: str,
 ) -> List[Tuple[int, ...]]:
     if processes < 1:
-        raise ValueError("processes must be >= 1")
+        raise InvalidInputError("processes must be >= 1")
     if chunk_size < 1:
-        raise ValueError("chunk_size must be >= 1")
+        raise InvalidInputError("chunk_size must be >= 1")
     corpus = as_flat_corpus(items)
     payloads = [chunk.to_shipping() for chunk in corpus.chunks(chunk_size)]
     if not payloads:

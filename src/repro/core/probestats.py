@@ -65,9 +65,16 @@ class ProbeStats:
         the bridge from the always-on per-backend counters to the opt-in
         observability layer: call sites snapshot before a batch and publish
         the :meth:`delta_since` after it.
+
+        *prefix* must be registered in :data:`repro.obs.catalog.PROBE_PREFIXES`
+        — an arbitrary prefix would mint counter names outside the catalog,
+        invisible to the conservation tests and dashboards.
         """
-        registry.counter(prefix + ".probes").inc(self.probes)
-        registry.counter(prefix + ".hashed_vertices").inc(self.hashed_vertices)
+        from repro.obs.catalog import probe_counter_names
+
+        probes_name, hashed_name = probe_counter_names(prefix)
+        registry.counter(probes_name).inc(self.probes)
+        registry.counter(hashed_name).inc(self.hashed_vertices)
 
     def __add__(self, other: "ProbeStats") -> "ProbeStats":
         return ProbeStats(

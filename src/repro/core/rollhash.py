@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.errors import InvalidInputError
 from repro.core.flatcorpus import FlatCorpus
 from repro.core.matcher import CandidateSet, Subpath
 
@@ -76,7 +77,7 @@ class RollingHashCandidates(CandidateSet):
     def __init__(self, hash_bits: int = 64) -> None:
         super().__init__()
         if not 1 <= hash_bits <= 64:
-            raise ValueError("hash_bits must be in [1, 64]")
+            raise InvalidInputError("hash_bits must be in [1, 64]")
         self.hash_bits = hash_bits
         self._hash_mask = (1 << hash_bits) - 1
         self._weights: Dict[Subpath, int] = {}
@@ -99,7 +100,7 @@ class RollingHashCandidates(CandidateSet):
     def add(self, seq: Sequence[int], weight: int = 1) -> None:
         sp = tuple(seq)
         if len(sp) < 2:
-            raise ValueError(f"candidates need >= 2 vertices, got {sp!r}")
+            raise InvalidInputError(f"candidates need >= 2 vertices, got {sp!r}")
         if sp in self._weights:
             self._weights[sp] += weight
             return

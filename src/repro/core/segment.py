@@ -27,7 +27,7 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.builder import TableBuilder
 from repro.core.config import OFFSConfig
-from repro.core.errors import CorruptDataError, PathIdError
+from repro.core.errors import CorruptDataError, InvalidInputError, PathIdError, StateError
 from repro.core.serialize import dumps_store, loads_store
 from repro.core.store import CompressedPathStore
 from repro.paths.dataset import PathDataset
@@ -69,7 +69,7 @@ class SegmentedArchive:
         :returns: the new segment's index.
         """
         if not training_paths:
-            raise ValueError("a segment needs training paths for its table")
+            raise InvalidInputError("a segment needs training paths for its table")
         table, _ = TableBuilder(self.config).build(
             PathDataset(training_paths, name=f"segment{len(self._segments)}"),
             base_id=self.base_id,
@@ -84,7 +84,7 @@ class SegmentedArchive:
     def append(self, path: Sequence[int]) -> int:
         """Compress *path* into the active segment; returns its global id."""
         if not self._segments:
-            raise RuntimeError("no active segment; call start_segment() first")
+            raise StateError("no active segment; call start_segment() first")
         local = self._segments[-1].append(path)
         return self._offsets[-1] + local
 

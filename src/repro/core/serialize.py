@@ -25,7 +25,7 @@ import struct
 import zlib
 from typing import List, Tuple
 
-from repro.core.errors import CorruptDataError
+from repro.core.errors import CorruptDataError, TableError
 from repro.core.store import CompressedPathStore
 from repro.core.supernode_table import SupernodeTable
 from repro.paths.encoding import VarintEncoding
@@ -71,7 +71,7 @@ def loads_table(data: bytes) -> Tuple[SupernodeTable, int]:
         subpaths.append(tuple(entry))
     try:
         table = SupernodeTable(base_id, subpaths)
-    except Exception as exc:
+    except TableError as exc:
         raise CorruptDataError(f"invalid table contents: {exc}") from exc
     return table, pos
 

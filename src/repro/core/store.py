@@ -20,9 +20,10 @@ from __future__ import annotations
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from repro.core.compressor import decompress_path
-from repro.core.errors import PathIdError
+from repro.core.errors import InvalidInputError, PathIdError
 from repro.core.matcher import CandidateSet, static_matcher_from_table
 from repro.core.supernode_table import SupernodeTable
+from repro.obs import catalog
 from repro.obs.runtime import get_active
 from repro.paths.encoding import DEFAULT_ENCODING, Encoding
 
@@ -91,8 +92,8 @@ class CompressedPathStore:
             tokens = compress_paths_flat(corpus, self.table, self._matcher)
             self._tokens.extend(tokens)
             return list(range(first_id, len(self._tokens)))
-        with obs.tracer.span("store.ingest") as span, obs.registry.timeit(
-            "store.ingest.seconds"
+        with obs.tracer.span(catalog.SPAN_STORE_INGEST) as span, obs.registry.timeit(
+            catalog.STORE_INGEST_SECONDS
         ):
             tokens = compress_paths_flat(corpus, self.table, self._matcher)
             self._tokens.extend(tokens)
@@ -100,9 +101,11 @@ class CompressedPathStore:
                 span.add("paths", len(tokens))
                 span.add("flat", 1)
         registry = obs.registry
-        registry.counter("store.ingested_paths").inc(len(tokens))
-        registry.counter("store.ingested_symbols_in").inc(corpus.total_symbols)
-        registry.counter("store.ingested_symbols_out").inc(sum(len(t) for t in tokens))
+        registry.counter(catalog.STORE_INGESTED_PATHS).inc(len(tokens))
+        registry.counter(catalog.STORE_INGESTED_SYMBOLS_IN).inc(corpus.total_symbols)
+        registry.counter(catalog.STORE_INGESTED_SYMBOLS_OUT).inc(
+            sum(len(t) for t in tokens)
+        )
         return list(range(first_id, len(self._tokens)))
 
     @classmethod
@@ -124,9 +127,9 @@ class CompressedPathStore:
         obs = get_active()
         if obs is not None:
             registry = obs.registry
-            registry.counter("store.ingested_paths").inc()
-            registry.counter("store.ingested_symbols_in").inc(len(path))
-            registry.counter("store.ingested_symbols_out").inc(len(token))
+            registry.counter(catalog.STORE_INGESTED_PATHS).inc()
+            registry.counter(catalog.STORE_INGESTED_SYMBOLS_IN).inc(len(path))
+            registry.counter(catalog.STORE_INGESTED_SYMBOLS_OUT).inc(len(token))
         return len(self._tokens) - 1
 
     def extend(self, paths: Iterable[Sequence[int]]) -> List[int]:
@@ -140,13 +143,15 @@ class CompressedPathStore:
         if obs is None:
             return [self.append(p) for p in paths]
         probes_before = self._matcher.stats.snapshot()
-        with obs.tracer.span("store.ingest") as span, obs.registry.timeit(
-            "store.ingest.seconds"
+        with obs.tracer.span(catalog.SPAN_STORE_INGEST) as span, obs.registry.timeit(
+            catalog.STORE_INGEST_SECONDS
         ):
             ids = [self.append(p) for p in paths]
             if span is not None:
                 span.add("paths", len(ids))
-        self._matcher.stats.delta_since(probes_before).publish(obs.registry, "matcher")
+        self._matcher.stats.delta_since(probes_before).publish(
+            obs.registry, catalog.PROBE_PREFIX_MATCHER
+        )
         return ids
 
     # -- retrieval ------------------------------------------------------------------
@@ -169,9 +174,9 @@ class CompressedPathStore:
         obs = get_active()
         if obs is None:
             return decompress_path(self._tokens[path_id], self.table)
-        with obs.registry.timeit("store.retrieve.seconds"):
+        with obs.registry.timeit(catalog.STORE_RETRIEVE_SECONDS):
             path = decompress_path(self._tokens[path_id], self.table)
-        obs.registry.counter("store.retrieved_paths").inc()
+        obs.registry.counter(catalog.STORE_RETRIEVED_PATHS).inc()
         return path
 
     def retrieve_many(self, path_ids: Iterable[int]) -> List[Tuple[int, ...]]:
@@ -187,13 +192,13 @@ class CompressedPathStore:
         obs = get_active()
         if obs is None:
             return [decompress_path(t, table) for t in self._tokens]
-        with obs.tracer.span("store.retrieve_all") as span, obs.registry.timeit(
-            "store.retrieve_all.seconds"
-        ):
+        with obs.tracer.span(
+            catalog.SPAN_STORE_RETRIEVE_ALL
+        ) as span, obs.registry.timeit(catalog.STORE_RETRIEVE_ALL_SECONDS):
             paths = [decompress_path(t, table) for t in self._tokens]
             if span is not None:
                 span.add("paths", len(paths))
-        obs.registry.counter("store.retrieved_paths").inc(len(paths))
+        obs.registry.counter(catalog.STORE_RETRIEVED_PATHS).inc(len(paths))
         return paths
 
     def retrieve_fraction(self, fraction: float, seed: int = 0) -> List[Tuple[int, ...]]:
@@ -204,7 +209,7 @@ class CompressedPathStore:
         import random
 
         if not 0.0 < fraction <= 1.0:
-            raise ValueError("fraction must be in (0, 1]")
+            raise InvalidInputError("fraction must be in (0, 1]")
         count = max(1, round(fraction * len(self._tokens)))
         rng = random.Random(seed)
         ids = rng.sample(range(len(self._tokens)), count)
@@ -230,7 +235,7 @@ class CompressedPathStore:
             total += encoding.size_of_value(len(token)) + encoding.size_of(token)
         obs = get_active()
         if obs is not None:
-            obs.registry.set_gauge("store.compressed_bytes", total)
+            obs.registry.set_gauge(catalog.STORE_COMPRESSED_BYTES, total)
         return total
 
     def raw_size_bytes(self, encoding: Encoding = DEFAULT_ENCODING) -> int:
@@ -241,7 +246,7 @@ class CompressedPathStore:
             total += encoding.size_of_value(len(path)) + encoding.size_of(path)
         obs = get_active()
         if obs is not None:
-            obs.registry.set_gauge("store.raw_bytes", total)
+            obs.registry.set_gauge(catalog.STORE_RAW_BYTES, total)
         return total
 
     def compression_ratio(self, encoding: Encoding = DEFAULT_ENCODING) -> float:

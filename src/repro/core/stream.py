@@ -24,6 +24,7 @@ from typing import Deque, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.builder import TableBuilder
 from repro.core.config import OFFSConfig
+from repro.core.errors import InvalidInputError, StateError
 from repro.core.store import CompressedPathStore
 from repro.paths.dataset import PathDataset
 
@@ -51,11 +52,11 @@ class StreamingCompressor:
         refit_ratio: float = 0.5,
     ) -> None:
         if train_after < 1:
-            raise ValueError("train_after must be >= 1")
+            raise InvalidInputError("train_after must be >= 1")
         if window < 1:
-            raise ValueError("window must be >= 1")
+            raise InvalidInputError("window must be >= 1")
         if not 0.0 < refit_ratio <= 1.0:
-            raise ValueError("refit_ratio must be in (0, 1]")
+            raise InvalidInputError("refit_ratio must be in (0, 1]")
         self.config = config or OFFSConfig(sample_exponent=0)
         self.train_after = train_after
         self.window = window
@@ -78,7 +79,7 @@ class StreamingCompressor:
     def store(self) -> CompressedPathStore:
         """The underlying compressed store (after training)."""
         if self._store is None:
-            raise RuntimeError(
+            raise StateError(
                 "stream is still warming up; feed it at least "
                 f"{self.train_after} paths or call train_now()"
             )
@@ -120,9 +121,9 @@ class StreamingCompressor:
     def train_now(self) -> None:
         """Force table construction from whatever has been buffered."""
         if self._store is not None:
-            raise RuntimeError("stream is already trained")
+            raise StateError("stream is already trained")
         if not self._buffer:
-            raise RuntimeError("nothing buffered to train on")
+            raise StateError("nothing buffered to train on")
         warmup = PathDataset(self._buffer, name="warmup")
         base_id = self._explicit_base_id
         if base_id is None:
@@ -193,9 +194,9 @@ class AutoSegmentingStream:
         from repro.core.segment import SegmentedArchive
 
         if warmup < 1 or window < 1 or min_segment_paths < 1:
-            raise ValueError("warmup, window and min_segment_paths must be >= 1")
+            raise InvalidInputError("warmup, window and min_segment_paths must be >= 1")
         if not 0.0 < refit_ratio <= 1.0:
-            raise ValueError("refit_ratio must be in (0, 1]")
+            raise InvalidInputError("refit_ratio must be in (0, 1]")
         self.archive = SegmentedArchive(
             config=config or OFFSConfig(sample_exponent=0), base_id=base_id
         )

@@ -27,7 +27,9 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, List, Sequence, Tuple
 
+from repro.core.errors import InvalidInputError
 from repro.core.matcher import CandidateSet
+from repro.obs import catalog
 from repro.obs.runtime import active_span, get_active
 
 Subpath = Tuple[int, ...]
@@ -43,7 +45,9 @@ class TopDownRefiner:
 
     def __init__(self, min_weight: int = 2, min_length: int = 2) -> None:
         if min_length < 2:
-            raise ValueError("min_length must be >= 2 (candidates are edges at least)")
+            raise InvalidInputError(
+                "min_length must be >= 2 (candidates are edges at least)"
+            )
         self.min_weight = min_weight
         self.min_length = min_length
 
@@ -98,7 +102,7 @@ class TopDownRefiner:
         counting_iteration = max(1, builder.config.delta.bit_length())
         trimmed_per_round: List[int] = []
 
-        with active_span("build.topdown", rounds=rounds) as span:
+        with active_span(catalog.SPAN_BUILD_TOPDOWN, rounds=rounds) as span:
             for round_index in range(rounds):
                 weak = [
                     seq
@@ -108,7 +112,7 @@ class TopDownRefiner:
                 if not weak:
                     break
                 with active_span(
-                    "build.topdown.round", round=round_index + 1
+                    catalog.SPAN_BUILD_TOPDOWN_ROUND, round=round_index + 1
                 ) as round_span:
                     for seq in weak:
                         cands.discard(seq)
@@ -126,6 +130,10 @@ class TopDownRefiner:
 
         obs = get_active()
         if obs is not None:
-            obs.registry.counter("build.topdown.rounds").inc(len(trimmed_per_round))
-            obs.registry.counter("build.topdown.trimmed").inc(sum(trimmed_per_round))
+            obs.registry.counter(catalog.BUILD_TOPDOWN_ROUNDS).inc(
+                len(trimmed_per_round)
+            )
+            obs.registry.counter(catalog.BUILD_TOPDOWN_TRIMMED).inc(
+                sum(trimmed_per_round)
+            )
         return trimmed_per_round

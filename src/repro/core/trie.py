@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.errors import InvalidInputError
 from repro.core.matcher import CandidateSet, Subpath
 
 
@@ -60,7 +61,7 @@ class TrieCandidates(CandidateSet):
     def add(self, seq: Sequence[int], weight: int = 1) -> None:
         sp = tuple(seq)
         if len(sp) < 2:
-            raise ValueError(f"candidates need >= 2 vertices, got {sp!r}")
+            raise InvalidInputError(f"candidates need >= 2 vertices, got {sp!r}")
         node = self._node_for(sp, create=True)
         assert node is not None
         if not node.terminal:

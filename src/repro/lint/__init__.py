@@ -1,0 +1,38 @@
+"""repro.lint — project-specific static analysis enforcing OFFS invariants.
+
+The paper's headline guarantees (per-path random access, byte-identical
+output across matcher backends and process counts) rest on conventions the
+type system cannot see: no nondeterminism in :mod:`repro.core`, every
+matcher backend registered everywhere it must appear, every ``compress_*``
+paired with a ``decompress_*``, every observability name drawn from
+:mod:`repro.obs.catalog`, every raised exception rooted in
+:mod:`repro.core.errors`.  This package checks those conventions statically
+over a shared parsed-module cache — dependency-free, stdlib ``ast`` only.
+
+Run it as ``python -m repro.lint`` (see :mod:`repro.lint.__main__` for the
+CLI, exit codes and the JSON output schema) or programmatically::
+
+    from repro.lint import Project, all_rules, run_rules
+
+    findings = run_rules(Project("/path/to/checkout"), all_rules())
+
+Rules are small classes over the shared cache; docs/static-analysis.md
+documents each rule, its rationale, and how to add one.
+"""
+
+from repro.lint.baseline import Baseline, load_baseline, save_baseline
+from repro.lint.engine import Finding, LintInternalError, Project, Rule, run_rules
+from repro.lint.rules import all_rules, rules_by_id
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintInternalError",
+    "Project",
+    "Rule",
+    "all_rules",
+    "load_baseline",
+    "rules_by_id",
+    "run_rules",
+    "save_baseline",
+]

@@ -1,0 +1,169 @@
+"""``python -m repro.lint`` — the command-line entry point.
+
+Exit codes (stable contract for CI):
+
+* ``0`` — no findings beyond the baseline;
+* ``1`` — at least one non-baselined finding;
+* ``2`` — the linter itself failed (bad arguments, unreadable baseline,
+  unparseable source).
+
+JSON output (``--format json``) carries ``schema_version`` (currently 1)
+so downstream tooling can detect incompatible changes::
+
+    {
+      "schema_version": 1,
+      "findings": [{"rule", "path", "line", "message", "hint"}, ...],
+      "suppressed": <count matched by the baseline>,
+      "stale_baseline": [{"rule", "path", "message"}, ...]
+    }
+
+Stale baseline entries (accepted findings the code no longer produces) are
+reported but do not affect the exit code — delete them at leisure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import traceback
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import DEFAULT_BASELINE, load_baseline, save_baseline
+from repro.lint.engine import SCHEMA_VERSION, LintInternalError, Project, run_rules
+from repro.lint.rules import all_rules, rules_by_id
+
+
+def _default_root() -> Path:
+    """The checkout root: this file lives at ``<root>/src/repro/lint/``."""
+    candidate = Path(__file__).resolve().parents[3]
+    if (candidate / "src" / "repro").is_dir():
+        return candidate
+    return Path.cwd()
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Project-specific static analysis enforcing OFFS "
+        "invariants (see docs/static-analysis.md).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="restrict *reported* findings to these repo-relative paths or "
+        "globs (analysis still covers the whole project)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root (default: auto-detected from this file)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json includes schema_version)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _run(args)
+    except LintInternalError as exc:
+        print(f"repro.lint: internal error: {exc}", file=sys.stderr)
+        return 2
+    except Exception:  # pragma: no cover - last-resort guard  # lint: ignore[R005]
+        traceback.print_exc()
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
+    rules = all_rules()
+    if args.rules:
+        rules = rules_by_id([part.strip() for part in args.rules.split(",") if part.strip()])
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}  {rule.title}")
+        return 0
+
+    root = (args.root or _default_root()).resolve()
+    if not (root / "src").is_dir():
+        raise LintInternalError(f"{root} does not look like a checkout (no src/)")
+
+    project = Project(root)
+    findings = run_rules(project, rules, paths=args.paths or None)
+
+    baseline_path = args.baseline or (root / DEFAULT_BASELINE)
+    if args.write_baseline:
+        save_baseline(baseline_path, findings)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    if args.no_baseline:
+        new, suppressed, stale = findings, [], []
+    else:
+        baseline = load_baseline(baseline_path)
+        new, suppressed = baseline.split(findings)
+        stale = baseline.stale(findings)
+
+    if args.format == "json":
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "findings": [finding.to_dict() for finding in new],
+            "suppressed": len(suppressed),
+            "stale_baseline": [
+                {"rule": rule, "path": path, "message": message}
+                for rule, path, message in stale
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in new:
+            print(finding.render())
+        summary: List[str] = [f"{len(new)} finding(s)"]
+        if suppressed:
+            summary.append(f"{len(suppressed)} baselined")
+        if stale:
+            summary.append(f"{len(stale)} stale baseline entr(y/ies)")
+        print("repro.lint: " + ", ".join(summary))
+        for rule, path, message in stale:
+            print(f"  stale: {rule} {path}: {message}")
+
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

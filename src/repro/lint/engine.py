@@ -1,0 +1,294 @@
+"""The rule engine: parsed-module cache, findings, pragma filtering.
+
+The engine owns everything rule-independent.  A :class:`Project` discovers
+and lazily parses the repository's Python sources exactly once (rules share
+the :class:`ParsedModule` cache, so six rules over ~60 modules still mean
+~60 ``ast.parse`` calls, not 360).  Rules subclass :class:`Rule` and yield
+:class:`Finding` objects; :func:`run_rules` drives them, sorts the output,
+and drops findings suppressed by an inline ``# lint: ignore[RXXX]`` pragma.
+
+Nothing here imports outside the stdlib — the linter must run in a bare
+checkout with no third-party packages installed.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Bumped when the JSON output / baseline format changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: ``# lint: ignore`` (everything) or ``# lint: ignore[R001,R004]``.
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+
+
+class LintInternalError(Exception):
+    """The linter itself failed (unreadable tree, unparseable config...).
+
+    Distinct from findings: the CLI maps this to exit code 2 so CI can tell
+    "the code has problems" (exit 1) from "the linter has problems".
+    """
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``path`` is repo-relative with ``/`` separators so findings, baselines
+    and CI output are stable across machines and platforms.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        """Identity for baseline matching: deliberately excludes the line
+        number so unrelated edits above a baselined finding don't resurrect
+        it."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class ParsedModule:
+    """One Python source file: text, parsed tree, and pragma lines."""
+
+    relpath: str
+    source: str
+    tree: ast.Module
+    #: line number -> set of suppressed rule ids ("*" means all rules).
+    pragmas: Dict[int, frozenset] = field(default_factory=dict)
+
+    @property
+    def dotted(self) -> str:
+        """``src/repro/core/store.py`` -> ``repro.core.store`` (best effort:
+        paths outside ``src/`` keep their slashes-to-dots form)."""
+        parts = Path(self.relpath).with_suffix("").parts
+        if parts and parts[0] == "src":
+            parts = parts[1:]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        rules = self.pragmas.get(line)
+        if rules is None:
+            return False
+        return "*" in rules or rule_id in rules
+
+
+def _scan_pragmas(source: str) -> Dict[int, frozenset]:
+    pragmas: Dict[int, frozenset] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        if match.group(1) is None:
+            pragmas[lineno] = frozenset({"*"})
+        else:
+            pragmas[lineno] = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+    return pragmas
+
+
+class Project:
+    """The analyzed checkout: module discovery plus a shared parse cache.
+
+    :param root: repository root (the directory holding ``src/`` and
+        ``docs/``).  Rules address files by repo-relative POSIX paths, so a
+        temporary directory with the same shape works — the fixture tests
+        build miniature projects this way.
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root).resolve()
+        self._cache: Dict[str, ParsedModule] = {}
+        self._text_cache: Dict[str, Optional[str]] = {}
+
+    # -- file access -----------------------------------------------------------
+
+    def exists(self, relpath: str) -> bool:
+        return (self.root / relpath).is_file()
+
+    def read_text(self, relpath: str) -> Optional[str]:
+        """The raw text of *relpath*, or ``None`` if it does not exist."""
+        if relpath not in self._text_cache:
+            target = self.root / relpath
+            try:
+                self._text_cache[relpath] = target.read_text(encoding="utf-8")
+            except FileNotFoundError:
+                self._text_cache[relpath] = None
+            except OSError as exc:
+                raise LintInternalError(f"cannot read {relpath}: {exc}") from exc
+        return self._text_cache[relpath]
+
+    def module(self, relpath: str) -> Optional[ParsedModule]:
+        """Parse *relpath* (cached), or ``None`` if the file is absent."""
+        relpath = relpath.replace("\\", "/")
+        if relpath not in self._cache:
+            source = self.read_text(relpath)
+            if source is None:
+                return None
+            try:
+                tree = ast.parse(source, filename=relpath)
+            except SyntaxError as exc:
+                raise LintInternalError(f"cannot parse {relpath}: {exc}") from exc
+            self._cache[relpath] = ParsedModule(
+                relpath=relpath,
+                source=source,
+                tree=tree,
+                pragmas=_scan_pragmas(source),
+            )
+        return self._cache[relpath]
+
+    def iter_modules(self, pattern: str = "src/**/*.py") -> Iterator[ParsedModule]:
+        """Parsed modules matching a repo-relative glob, sorted by path."""
+        for path in sorted(self.root.glob(pattern)):
+            if not path.is_file():
+                continue
+            rel = path.relative_to(self.root).as_posix()
+            module = self.module(rel)
+            if module is not None:
+                yield module
+
+    def modules_under(self, prefix: str) -> Iterator[ParsedModule]:
+        """Parsed modules under a directory prefix like ``src/repro/core``."""
+        yield from self.iter_modules(prefix.rstrip("/") + "/**/*.py")
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`id` (``"R001"``...) and :attr:`title`, and
+    implement :meth:`check` yielding findings.  Use :meth:`finding` so the
+    rule id and path normalization stay consistent.
+    """
+
+    id: str = ""
+    title: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module_or_path: "ParsedModule | str",
+        line: int,
+        message: str,
+        hint: str = "",
+    ) -> Finding:
+        path = (
+            module_or_path.relpath
+            if isinstance(module_or_path, ParsedModule)
+            else module_or_path
+        )
+        return Finding(
+            path=path.replace("\\", "/"),
+            line=line,
+            rule=self.id,
+            message=message,
+            hint=hint,
+        )
+
+
+def run_rules(
+    project: Project,
+    rules: Sequence[Rule],
+    paths: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run *rules* over *project*; returns sorted, pragma-filtered findings.
+
+    :param paths: optional repo-relative path filters (exact paths or glob
+        patterns); findings outside them are dropped.  Rules still *analyze*
+        the whole project — cross-reference rules like R002 need the full
+        picture regardless of which files the caller wants reported.
+    """
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(project):
+            module = project._cache.get(finding.path)
+            if module is not None and module.suppressed(finding.line, finding.rule):
+                continue
+            findings.append(finding)
+    if paths:
+        wanted = [p.replace("\\", "/") for p in paths]
+        findings = [f for f in findings if _path_selected(f.path, wanted)]
+    return sorted(findings)
+
+
+def _path_selected(path: str, patterns: Iterable[str]) -> bool:
+    for pattern in patterns:
+        if path == pattern or path.startswith(pattern.rstrip("/") + "/"):
+            return True
+        if fnmatch.fnmatch(path, pattern):
+            return True
+    return False
+
+
+# -- shared AST helpers (used by several rules) --------------------------------
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``ast.Attribute``/``ast.Name`` chains as ``"a.b.c"``, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> imported dotted origin, for module-level imports.
+
+    ``import random`` -> ``{"random": "random"}``; ``from repro.obs import
+    catalog as c`` -> ``{"c": "repro.obs.catalog"}``; ``from x import y`` ->
+    ``{"y": "x.y"}``.  Relative imports are recorded with leading dots
+    preserved (``from . import errors`` -> ``{"errors": ".errors"}``).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom):
+            base = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{base}.{alias.name}" if base else alias.name
+    return aliases
+
+
+def string_constant(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

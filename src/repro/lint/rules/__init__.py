@@ -1,0 +1,40 @@
+"""The rule registry.  Adding a rule = new module here + one list entry."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.lint.engine import LintInternalError, Rule
+from repro.lint.rules.codec_symmetry import CodecSymmetryRule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.doc_drift import DocDriftRule
+from repro.lint.rules.error_hygiene import ErrorHygieneRule
+from repro.lint.rules.obs_discipline import ObsDisciplineRule
+from repro.lint.rules.registry_sync import RegistrySyncRule
+
+_ALL = (
+    DeterminismRule,
+    RegistrySyncRule,
+    CodecSymmetryRule,
+    ObsDisciplineRule,
+    ErrorHygieneRule,
+    DocDriftRule,
+)
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in id order."""
+    return sorted((cls() for cls in _ALL), key=lambda rule: rule.id)
+
+
+def rules_by_id(ids: Sequence[str]) -> List[Rule]:
+    """Instances of the rules named in *ids* (e.g. ``["R001", "R004"]``)."""
+    known: Dict[str, Rule] = {rule.id: rule for rule in all_rules()}
+    selected: List[Rule] = []
+    for rule_id in ids:
+        if rule_id not in known:
+            raise LintInternalError(
+                f"unknown rule {rule_id!r}; known: {', '.join(sorted(known))}"
+            )
+        selected.append(known[rule_id])
+    return selected

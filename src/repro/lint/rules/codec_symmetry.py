@@ -1,0 +1,84 @@
+"""R003 — codec symmetry: every forward transform has an inverse.
+
+OFFS compression is lossless by contract — ``f^T(f(P)) = P`` (Lemma 1) —
+so a public ``compress_*``/``encode_*``/``dumps_*`` with no matching
+``decompress_*``/``decode_*``/``loads_*`` **in the same scope** is either
+dead weight or a trap: callers can produce artifacts nothing can read back.
+The rule checks module-level functions and each class's methods as separate
+scopes (a class may rely on a module-level inverse only when the forward is
+module-level too).
+
+Prefix matching is word-based: ``compress_path`` pairs with
+``decompress_path``; ``compression_ratio`` is not a forward transform (the
+word is "compression") and ``compressed_size_bytes`` is an accessor, so
+neither is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List
+
+from repro.lint.engine import Finding, ParsedModule, Project, Rule
+
+#: forward word -> inverse word; matches ``word`` exactly or ``word_*``.
+PAIRS = {
+    "encode": "decode",
+    "compress": "decompress",
+    "dumps": "loads",
+    "serialize": "deserialize",
+    "pack": "unpack",
+}
+
+
+def _expected_inverse(name: str) -> str:
+    """The inverse name for a forward transform name, or ``""``."""
+    if name.startswith("_"):
+        return ""
+    for forward, inverse in PAIRS.items():
+        if name == forward:
+            return inverse
+        if name.startswith(forward + "_"):
+            return inverse + name[len(forward):]
+    return ""
+
+
+class CodecSymmetryRule(Rule):
+    id = "R003"
+    title = "every public encode/compress has a matching decode/decompress"
+
+    scope = "src/repro"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules_under(self.scope):
+            if module.relpath.startswith("src/repro/lint/"):
+                continue  # the linter's own sources are not codec code
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ParsedModule) -> Iterator[Finding]:
+        yield from self._check_scope(module, "module", module.tree.body)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_scope(
+                    module, f"class {node.name}", node.body
+                )
+
+    def _check_scope(
+        self, module: ParsedModule, scope: str, body: List[ast.stmt]
+    ) -> Iterator[Finding]:
+        functions: Dict[str, int] = {}
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions.setdefault(stmt.name, stmt.lineno)
+        names = set(functions)
+        for name, lineno in sorted(functions.items(), key=lambda kv: kv[1]):
+            inverse = _expected_inverse(name)
+            if inverse and inverse not in names:
+                yield self.finding(
+                    module,
+                    lineno,
+                    f"{scope} defines {name}() but no {inverse}()",
+                    hint="lossless round-trip is the contract (Lemma 1): "
+                    f"add {inverse}() beside it, or rename if this is not "
+                    "a forward transform",
+                )

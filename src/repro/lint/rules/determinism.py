@@ -1,0 +1,183 @@
+"""R001 — determinism: repro.core must be bit-for-bit reproducible.
+
+The paper's equivalence claims (same compressed output for every matcher
+backend, every process count, every run) are the repo's tier-1 contract:
+``test_matcher_equivalence.py`` and ``test_parallel.py`` diff outputs
+byte-for-byte.  Anything nondeterministic inside :mod:`repro.core` breaks
+that silently — wall-clock in a decision path, an unseeded RNG, iterating a
+set whose order is hash-randomized between processes.
+
+Flagged in ``src/repro/core``:
+
+* calls to wall-clock / entropy sources (``time.time``, ``os.urandom``,
+  ``uuid.uuid4``, ``secrets.*``) — ``time.perf_counter`` is allowed because
+  it only ever feeds *reports*, never decisions, and flagging it would bury
+  real signal;
+* module-level ``random.*`` draws and ``random.Random()`` with no seed
+  (``random.Random(seed)`` is fine — that's the paper's sampling setup);
+* mutable default arguments (shared state across calls reorders results);
+* ``for``/comprehension iteration directly over a set literal, set
+  comprehension, or ``set(...)``/``frozenset(...)`` call without an
+  enclosing ``sorted(...)`` — hash order is not stable across processes
+  with different ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine import (
+    Finding,
+    ParsedModule,
+    Project,
+    Rule,
+    dotted_name,
+    import_aliases,
+)
+
+#: Fully-dotted calls that read clocks or entropy.
+_BANNED_CALLS = {
+    "time.time": "wall-clock reads differ between runs",
+    "time.time_ns": "wall-clock reads differ between runs",
+    "os.urandom": "os.urandom is entropy, not reproducible randomness",
+    "uuid.uuid1": "uuid1 mixes in clock and MAC address",
+    "uuid.uuid4": "uuid4 draws from OS entropy",
+}
+
+#: Modules that are nondeterministic wholesale.
+_BANNED_MODULE_PREFIXES = ("secrets.",)
+
+#: Module-level random functions that draw from the shared unseeded RNG.
+_GLOBAL_RANDOM_FNS = {
+    "betavariate", "choice", "choices", "expovariate", "gauss", "getrandbits",
+    "normalvariate", "randbytes", "randint", "random", "randrange", "sample",
+    "shuffle", "triangular", "uniform", "vonmisesvariate",
+}
+
+
+class DeterminismRule(Rule):
+    id = "R001"
+    title = "repro.core must be deterministic"
+
+    scope = "src/repro/core"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules_under(self.scope):
+            yield from self._check_module(module)
+
+    # -- per-module ------------------------------------------------------------
+
+    def _check_module(self, module: ParsedModule) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, aliases, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(module, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_set_iteration(module, node.iter, node.lineno)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    yield from self._check_set_iteration(module, gen.iter, node.lineno)
+
+    def _check_call(
+        self, module: ParsedModule, aliases: dict, node: ast.Call
+    ) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        root = name.split(".", 1)[0]
+        resolved = name
+        if root in aliases:
+            resolved = aliases[root] + name[len(root):]
+        if resolved in _BANNED_CALLS:
+            yield self.finding(
+                module,
+                node.lineno,
+                f"nondeterministic call {resolved}()",
+                hint=_BANNED_CALLS[resolved]
+                + "; use time.perf_counter for durations, seeded "
+                "random.Random(seed) for sampling",
+            )
+            return
+        for prefix in _BANNED_MODULE_PREFIXES:
+            if resolved.startswith(prefix):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"nondeterministic call {resolved}()",
+                    hint="the secrets module is entropy by design; "
+                    "repro.core output must be reproducible",
+                )
+                return
+        if resolved.startswith("random.") and resolved.count(".") == 1:
+            fn = resolved.split(".")[1]
+            if fn in _GLOBAL_RANDOM_FNS:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"unseeded module-level random.{fn}()",
+                    hint="draw from an explicit random.Random(seed) instance "
+                    "so results are reproducible",
+                )
+            elif fn == "Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    "random.Random() constructed without a seed",
+                    hint="pass an explicit seed: random.Random(seed)",
+                )
+
+    def _check_defaults(
+        self, module: ParsedModule, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> Iterator[Finding]:
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            if self._is_mutable_literal(default):
+                yield self.finding(
+                    module,
+                    default.lineno,
+                    f"mutable default argument in {node.name}()",
+                    hint="default to None and create the container in the "
+                    "body; shared defaults leak state across calls",
+                )
+
+    @staticmethod
+    def _is_mutable_literal(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in {"list", "dict", "set", "bytearray"} and not node.args
+        return False
+
+    def _check_set_iteration(
+        self, module: ParsedModule, iter_node: ast.AST, lineno: int
+    ) -> Iterator[Finding]:
+        expr = self._set_valued(iter_node)
+        if expr is not None:
+            yield self.finding(
+                module,
+                getattr(iter_node, "lineno", lineno),
+                f"iteration over unordered set expression ({expr})",
+                hint="wrap in sorted(...) — set order depends on "
+                "PYTHONHASHSEED and breaks cross-process equivalence",
+            )
+
+    @staticmethod
+    def _set_valued(node: ast.AST) -> Optional[str]:
+        """A short description if *node* evaluates to a set, else ``None``."""
+        if isinstance(node, ast.Set):
+            return "set literal"
+        if isinstance(node, ast.SetComp):
+            return "set comprehension"
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in {"set", "frozenset"}:
+                return f"{node.func.id}(...) call"
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)):
+            left = DeterminismRule._set_valued(node.left)
+            right = DeterminismRule._set_valued(node.right)
+            if left or right:
+                return "set algebra expression"
+        return None

@@ -1,0 +1,65 @@
+"""R006 — API/doc drift: every ``__all__`` export appears in docs/api.md.
+
+``docs/api.md`` is the repo's public-surface contract.  Each package's
+``__all__`` is parsed from its ``__init__.py`` (string-literal lists only —
+computed ``__all__`` would itself be a determinism smell) and every export
+must be mentioned in the doc, as a word in backticks or a heading.  The
+inverse direction (documented names that no longer exist) is deliberately
+out of scope: prose legitimately mentions parameters and concepts that are
+not exports.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.engine import Finding, ParsedModule, Project, Rule, string_constant
+
+DOC_PATH = "docs/api.md"
+
+
+class DocDriftRule(Rule):
+    id = "R006"
+    title = "__all__ exports must be documented in docs/api.md"
+
+    scope = "src/repro"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        doc = project.read_text(DOC_PATH)
+        if doc is None:
+            return  # fixture projects without docs are out of scope
+        for module in project.iter_modules(self.scope + "/**/__init__.py"):
+            exports = self._exports(module)
+            if exports is None:
+                continue
+            names, lineno = exports
+            for name in names:
+                if not re.search(rf"\b{re.escape(name)}\b", doc):
+                    yield self.finding(
+                        module,
+                        lineno,
+                        f"export {name!r} ({module.dotted}) is not mentioned "
+                        f"in {DOC_PATH}",
+                        hint=f"document `{name}` in {DOC_PATH} (or stop "
+                        "exporting it)",
+                    )
+
+    @staticmethod
+    def _exports(module: ParsedModule) -> Optional[Tuple[List[str], int]]:
+        for node in module.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+            ):
+                continue
+            if isinstance(node.value, (ast.List, ast.Tuple)):
+                names = [
+                    name
+                    for name in (string_constant(e) for e in node.value.elts)
+                    if name is not None
+                ]
+                return names, node.lineno
+        return None

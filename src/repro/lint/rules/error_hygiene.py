@@ -1,0 +1,171 @@
+"""R005 — error hygiene in repro.core.
+
+Three habits that corrupt error reporting in the core layer:
+
+* **bare / broad excepts** — ``except:`` and ``except Exception:`` swallow
+  programming errors (including the determinism bugs R001 hunts) and turn
+  them into silent wrong output, the worst failure mode for a compressor
+  whose whole claim is byte-identical reproducibility;
+* **raising builtin exceptions** — callers of :mod:`repro.core` should be
+  able to catch :class:`repro.core.errors.ReproError` and know they have
+  every library failure.  The errors module provides dual-inheritance
+  shims (``InvalidInputError(ReproError, ValueError)`` ...) precisely so
+  call sites can move off builtins without breaking existing handlers;
+* **shadowed builtins** — a local named ``hash`` or ``id`` in hashing code
+  is an incident waiting to happen.
+
+``NotImplementedError`` and ``AssertionError`` stay allowed (abstract
+methods and invariant checks are not library failures).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.engine import Finding, ParsedModule, Project, Rule
+
+#: Builtins whose raise should go through repro.core.errors instead.
+_BUILTIN_RAISES = {
+    "ArithmeticError", "AttributeError", "BaseException", "BufferError",
+    "EOFError", "Exception", "IOError", "IndexError", "KeyError",
+    "LookupError", "MemoryError", "NameError", "OSError", "OverflowError",
+    "RuntimeError", "StopIteration", "TypeError", "ValueError",
+    "ZeroDivisionError",
+}
+
+#: Builtins worth protecting from shadowing in core code.
+_SHADOWABLE = {
+    "abs", "all", "any", "bin", "bool", "bytes", "dict", "dir", "filter",
+    "format", "hash", "id", "input", "int", "iter", "len", "list", "map",
+    "max", "min", "next", "object", "open", "ord", "print", "range", "repr",
+    "round", "set", "sorted", "str", "sum", "tuple", "type", "vars", "zip",
+}
+
+
+class ErrorHygieneRule(Rule):
+    id = "R005"
+    title = "repro.core raises ReproError subclasses, never swallows broadly"
+
+    scope = "src/repro/core"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules_under(self.scope):
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(module, node)
+            elif isinstance(node, ast.Raise):
+                yield from self._check_raise(module, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_arg_shadowing(module, node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.For, ast.withitem)):
+                yield from self._check_target_shadowing(module, node)
+
+    # -- except handlers -------------------------------------------------------
+
+    def _check_handler(
+        self, module: ParsedModule, node: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if node.type is None:
+            yield self.finding(
+                module,
+                node.lineno,
+                "bare except: swallows everything including SystemExit",
+                hint="catch the narrowest repro.core.errors class (or "
+                "builtin) the block can actually handle",
+            )
+            return
+        for name in self._exception_names(node.type):
+            if name in {"Exception", "BaseException"}:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"broad except {name}: hides programming errors",
+                    hint="catch the specific error classes this block "
+                    "recovers from",
+                )
+
+    @staticmethod
+    def _exception_names(node: ast.AST) -> Iterator[str]:
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+        elif isinstance(node, ast.Tuple):
+            for element in node.elts:
+                yield from ErrorHygieneRule._exception_names(element)
+
+    # -- raises ----------------------------------------------------------------
+
+    def _check_raise(self, module: ParsedModule, node: ast.Raise) -> Iterator[Finding]:
+        exc = node.exc
+        if exc is None:
+            return  # bare re-raise is fine
+        name = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name in _BUILTIN_RAISES:
+            yield self.finding(
+                module,
+                node.lineno,
+                f"raises builtin {name} instead of a repro.core.errors class",
+                hint="use (or add) a dual-inheritance class in "
+                "repro.core.errors — e.g. InvalidInputError(ReproError, "
+                "ValueError) — so `except ReproError` catches it",
+            )
+
+    # -- shadowing -------------------------------------------------------------
+
+    def _check_arg_shadowing(
+        self, module: ParsedModule, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> Iterator[Finding]:
+        args = node.args
+        all_args = (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+        for arg in all_args:
+            if arg.arg in _SHADOWABLE:
+                yield self.finding(
+                    module,
+                    arg.lineno,
+                    f"parameter {arg.arg!r} of {node.name}() shadows a builtin",
+                    hint=f"rename (e.g. {arg.arg}_ or a descriptive name)",
+                )
+
+    def _check_target_shadowing(
+        self, module: ParsedModule, node: ast.AST
+    ) -> Iterator[Finding]:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        elif isinstance(node, ast.For):
+            targets = [node.target]
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            targets = [node.optional_vars]
+        for target in targets:
+            for name_node in self._names_in_target(target):
+                if name_node.id in _SHADOWABLE:
+                    yield self.finding(
+                        module,
+                        name_node.lineno,
+                        f"assignment shadows builtin {name_node.id!r}",
+                        hint="rename the variable; shadowed builtins in core "
+                        "code invite subtle breakage",
+                    )
+
+    @staticmethod
+    def _names_in_target(node: ast.AST) -> Iterator[ast.Name]:
+        if isinstance(node, ast.Name):
+            yield node
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                yield from ErrorHygieneRule._names_in_target(element)
+        elif isinstance(node, ast.Starred):
+            yield from ErrorHygieneRule._names_in_target(node.value)

@@ -1,0 +1,179 @@
+"""R004 — obs discipline: metric/span names come from the catalog.
+
+:mod:`repro.obs.catalog` is the single registry of observability names; the
+conservation tests (symbols_in == symbols_out) and dashboards key on them.
+A name minted inline at a call site — a raw string literal nobody
+registered, or a dynamically-built value the linter cannot see through —
+drifts silently when renamed.  Scope is ``src/repro`` minus
+``repro.obs`` itself (the registry/tracer internals necessarily handle
+names as variables) and ``repro.lint``.
+
+Checked call shapes, all taking a name as first argument:
+
+* ``<registry>.counter/gauge/timer/timeit/set_gauge/observe(name, ...)``;
+* ``<tracer>.span(name, ...)``;
+* bare ``active_span(name, ...)`` / ``active_timer(name, ...)`` when
+  imported from :mod:`repro.obs` (or its ``runtime`` submodule).
+
+A first argument passes when it is (a) a ``catalog.X`` attribute or an
+``X`` imported from the catalog module, or (b) a string literal that is
+registered in the catalog.  Anything else — unregistered literal, local
+variable, f-string, concatenation — is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.lint.engine import (
+    Finding,
+    ParsedModule,
+    Project,
+    Rule,
+    import_aliases,
+    string_constant,
+)
+
+CATALOG_PATH = "src/repro/obs/catalog.py"
+CATALOG_MODULE = "repro.obs.catalog"
+
+#: method attr -> True when the name argument is mandatory at position 0.
+_NAME_METHODS = {"counter", "gauge", "timer", "timeit", "set_gauge", "observe", "span"}
+_NAME_FUNCTIONS = {"active_span", "active_timer"}
+_REGISTRAR_CALLS = {"_counter", "_gauge", "_timer", "_span", "_register"}
+
+
+class ObsDisciplineRule(Rule):
+    id = "R004"
+    title = "metric/span names must come from repro.obs.catalog"
+
+    scope = "src/repro"
+    excluded_prefixes = ("src/repro/obs/", "src/repro/lint/")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        catalog = self._catalog(project)
+        if catalog is None:
+            return  # no catalog module in this project: rule out of scope
+        constants, registered = catalog
+        for module in project.modules_under(self.scope):
+            if module.relpath.startswith(self.excluded_prefixes):
+                continue
+            yield from self._check_module(module, constants, registered)
+
+    # -- the catalog's contents ------------------------------------------------
+
+    def _catalog(
+        self, project: Project
+    ) -> "Optional[tuple[Set[str], Set[str]]]":
+        """(constant names defined in the catalog, registered name strings)."""
+        module = project.module(CATALOG_PATH)
+        if module is None:
+            return None
+        constants: Set[str] = set()
+        registered: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                    constants.add(target.id)
+            if isinstance(node.value, ast.Call):
+                func = node.value.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _REGISTRAR_CALLS
+                    and node.value.args
+                ):
+                    name = string_constant(node.value.args[0])
+                    if name is not None:
+                        registered.add(name)
+        return constants, registered
+
+    # -- per-module ------------------------------------------------------------
+
+    def _check_module(
+        self, module: ParsedModule, constants: Set[str], registered: Set[str]
+    ) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        catalog_locals = {
+            local
+            for local, origin in aliases.items()
+            if origin.startswith(CATALOG_MODULE + ".")
+        }
+        catalog_module_locals = {
+            local for local, origin in aliases.items() if origin == CATALOG_MODULE
+        }
+        obs_functions = {
+            local
+            for local, origin in aliases.items()
+            if local in _NAME_FUNCTIONS
+            or origin.rsplit(".", 1)[-1] in _NAME_FUNCTIONS
+        }
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            called = self._called_name_method(node, obs_functions)
+            if called is None:
+                continue
+            problem = self._argument_problem(
+                node.args[0], constants, registered, catalog_locals,
+                catalog_module_locals,
+            )
+            if problem is not None:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"{called}() name argument {problem}",
+                    hint="register the name in repro.obs.catalog and pass "
+                    "the catalog constant",
+                )
+
+    def _called_name_method(
+        self, node: ast.Call, obs_functions: Set[str]
+    ) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _NAME_METHODS:
+            # Guard against unrelated .span()/.observe() on non-obs objects:
+            # require the name argument to even be plausible (a string
+            # constant or a Name/Attribute) — numeric first args are not
+            # metric names.
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and not isinstance(first.value, str):
+                return None
+            return func.attr
+        if isinstance(func, ast.Name) and func.id in obs_functions:
+            return func.id
+        return None
+
+    def _argument_problem(
+        self,
+        arg: ast.AST,
+        constants: Set[str],
+        registered: Set[str],
+        catalog_locals: Set[str],
+        catalog_module_locals: Set[str],
+    ) -> Optional[str]:
+        literal = string_constant(arg)
+        if literal is not None:
+            if literal in registered:
+                return None
+            return (
+                f"is the literal {literal!r}, which is not registered in "
+                "the catalog"
+            )
+        if isinstance(arg, ast.Name):
+            if arg.id in catalog_locals:
+                return None
+            return f"is the local name {arg.id!r}, not a catalog constant"
+        if isinstance(arg, ast.Attribute) and isinstance(arg.value, ast.Name):
+            if arg.value.id in catalog_module_locals:
+                if arg.attr in constants:
+                    return None
+                return (
+                    f"references catalog.{arg.attr}, which the catalog does "
+                    "not define"
+                )
+            return f"is {arg.value.id}.{arg.attr}, not a catalog constant"
+        return "is dynamic (not a literal or catalog constant)"

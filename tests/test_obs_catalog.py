@@ -1,0 +1,60 @@
+"""The metric/span name catalog: closed set, duplicate-proof, queryable."""
+
+import pytest
+
+from repro.obs import catalog
+from repro.obs.catalog import (
+    DuplicateNameError,
+    UnknownNameError,
+    is_registered,
+    metric_names,
+    probe_counter_names,
+    span_names,
+)
+
+
+class TestRegistration:
+    def test_duplicate_metric_name_is_a_hard_error(self):
+        catalog._counter("test.duplicate.probe")
+        with pytest.raises(DuplicateNameError):
+            catalog._counter("test.duplicate.probe")
+
+    def test_duplicate_across_kinds_is_still_an_error(self):
+        catalog._gauge("test.duplicate.kinds")
+        with pytest.raises(DuplicateNameError):
+            catalog._timer("test.duplicate.kinds")
+
+    def test_duplicate_span_name_is_a_hard_error(self):
+        catalog._span("test.duplicate.span")
+        with pytest.raises(DuplicateNameError):
+            catalog._span("test.duplicate.span")
+
+
+class TestQueries:
+    def test_every_constant_is_registered(self):
+        assert is_registered(catalog.COMPRESS_PATHS)
+        assert is_registered(catalog.SPAN_BUILD)
+        assert not is_registered("never.registered")
+
+    def test_metric_names_carry_kinds(self):
+        kinds = metric_names()
+        assert kinds[catalog.COMPRESS_PATHS] == "counter"
+        assert kinds[catalog.BUILD_TABLE_ENTRIES] == "gauge"
+        assert kinds[catalog.BUILD_SECONDS] == "timer"
+
+    def test_span_names_is_a_closed_set(self):
+        assert catalog.SPAN_COMPRESS in span_names()
+        assert catalog.SPAN_STORE_INGEST in span_names()
+
+
+class TestProbePrefixes:
+    def test_known_prefixes_resolve_to_registered_counters(self):
+        for prefix in catalog.PROBE_PREFIXES:
+            probes, hashed = probe_counter_names(prefix)
+            assert probes == f"{prefix}.probes"
+            assert hashed == f"{prefix}.hashed_vertices"
+            assert is_registered(probes) and is_registered(hashed)
+
+    def test_unknown_prefix_is_rejected(self):
+        with pytest.raises(UnknownNameError):
+            probe_counter_names("rogue")
