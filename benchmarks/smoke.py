@@ -6,6 +6,12 @@ against the flat batch pipeline with the rolling backend, min-of-N each,
 asserting byte-identical output.  Emits one JSON blob (``BENCH_smoke.json``
 by default) so CI can archive a timing trajectory next to the test logs.
 
+The same run benchmarks the decode path into a second blob
+(``BENCH_decode.json``): cold vs warm expansion cache, the per-path
+decompress loop vs the flat batch kernel, and in-memory retrieval vs a
+``MappedPathStore`` over a temp v2 file — all on the same archive, with an
+identical-output assertion across every route.
+
 Timings here are *smoke* numbers: small inputs, shared runners — read them
 for trajectory and order-of-magnitude, not for truth.  The real harness is
 ``pytest benchmarks/ --benchmark-only`` and ``python -m repro.bench``.
@@ -19,8 +25,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
+import tempfile
 import time
 from typing import Callable, Dict
 
@@ -34,12 +42,98 @@ def min_of(run: Callable[[], object], rounds: int) -> float:
     return best
 
 
+def bench_decode(table, tokens, paths, rounds: int) -> Dict[str, object]:
+    """Time the decode routes on one archive; returns the JSON payload.
+
+    Every route is checked for identical output before anything is timed —
+    a fast wrong answer would otherwise look like a win.
+    """
+    from repro.core.compressor import decompress_path, decompress_paths_flat
+    from repro.core.flatcorpus import FlatCorpus
+    from repro.core.mapped import MappedPathStore
+    from repro.core.serialize import dump_store_file
+    from repro.core.store import CompressedPathStore
+
+    store = CompressedPathStore(table)
+    store._tokens.extend(tokens)
+    token_corpus = FlatCorpus.from_paths(tokens)
+    total_symbols = sum(len(p) for p in paths)
+
+    def seed_loop():
+        return [decompress_path(t, table) for t in tokens]
+
+    # Identity first: per-path loop == flat kernel == original paths.
+    loop_out = seed_loop()
+    flat_out = decompress_paths_flat(token_corpus, table, as_corpus=True)
+    identical = loop_out == list(paths) and flat_out.to_paths() == loop_out
+
+    # Cold = cache built inside the timed region (first decode after load);
+    # warm = the steady state every later decode enjoys.
+    def cold_first_decode():
+        table._expansion_cache = None
+        return seed_loop()
+
+    cold_s = min_of(cold_first_decode, rounds)
+    table.expansions()
+    warm_s = min_of(seed_loop, rounds)
+    flat_s = min_of(
+        lambda: decompress_paths_flat(token_corpus, table, as_corpus=True), rounds
+    )
+    flat_paths_s = min_of(lambda: decompress_paths_flat(token_corpus, table), rounds)
+
+    # Point retrievals: every path once, in-memory store vs mapped v2 file.
+    sample = range(len(store))
+    fd, v2_path = tempfile.mkstemp(suffix=".rpc2")
+    os.close(fd)
+    try:
+        dump_store_file(store, v2_path)
+        open_s = min_of(lambda: MappedPathStore.open(v2_path).close(), rounds)
+        with MappedPathStore.open(v2_path) as mapped:
+            identical = identical and [mapped.retrieve(i) for i in sample] == loop_out
+            memory_s = min_of(lambda: [store.retrieve(i) for i in sample], rounds)
+            mapped_s = min_of(lambda: [mapped.retrieve(i) for i in sample], rounds)
+    finally:
+        os.unlink(v2_path)
+
+    def msym(seconds: float) -> float:
+        return round(total_symbols / seconds / 1e6, 3) if seconds else 0.0
+
+    return {
+        "benchmark": "smoke_decode",
+        "rounds": rounds,
+        "paths": len(tokens),
+        "symbols": total_symbols,
+        "identical_output": identical,
+        "expansion_cache": {
+            "cold_first_decode_seconds": round(cold_s, 4),
+            "warm_decode_seconds": round(warm_s, 4),
+            "cold_over_warm": round(cold_s / warm_s, 3) if warm_s else None,
+        },
+        "pipelines": {
+            "seed_perpath_loop": {"seconds": round(warm_s, 4), "msym_per_s": msym(warm_s)},
+            "flat_batch_corpus": {"seconds": round(flat_s, 4), "msym_per_s": msym(flat_s)},
+            "flat_batch_to_paths": {
+                "seconds": round(flat_paths_s, 4),
+                "msym_per_s": msym(flat_paths_s),
+            },
+        },
+        "stores": {
+            "mapped_open_seconds": round(open_s, 6),
+            "memory_retrieve_all_ids_seconds": round(memory_s, 4),
+            "mapped_retrieve_all_ids_seconds": round(mapped_s, 4),
+            "mapped_over_memory": round(mapped_s / memory_s, 3) if memory_s else None,
+        },
+        "speedup": round(warm_s / flat_s, 3) if flat_s else None,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--size", default="tiny", choices=("tiny", "small", "medium"))
     parser.add_argument("--workload", default="alibaba")
     parser.add_argument("--rounds", type=int, default=3, help="report min-of-N")
     parser.add_argument("--out", default="BENCH_smoke.json")
+    parser.add_argument("--decode-out", default="BENCH_decode.json")
     args = parser.parse_args(argv)
 
     from repro.core.builder import TableBuilder
@@ -122,6 +216,20 @@ def main(argv=None) -> int:
           f"(identical={identical}) -> {args.out}", file=sys.stderr)
     if not identical:
         print("smoke: OUTPUT MISMATCH — flat pipeline diverged", file=sys.stderr)
+        return 1
+
+    decode = bench_decode(table, baseline_tokens, paths, args.rounds)
+    decode.update({"workload": args.workload, "size": args.size,
+                   "python": platform.python_version()})
+    blob = json.dumps(decode, indent=2, sort_keys=True)
+    with open(args.decode_out, "w", encoding="utf-8") as fh:
+        fh.write(blob + "\n")
+    print(blob)
+    print(f"smoke: {decode['speedup']}x flat-batch decode over seed loop "
+          f"(identical={decode['identical_output']}) -> {args.decode_out}",
+          file=sys.stderr)
+    if not decode["identical_output"]:
+        print("smoke: OUTPUT MISMATCH — decode routes diverged", file=sys.stderr)
         return 1
     return 0
 

@@ -4,13 +4,23 @@ The operational surface a deployment needs, over the text/binary formats of
 :mod:`repro.paths.io` and the archive format of :mod:`repro.core.serialize`:
 
 * ``python -m repro compress IN.paths OUT.offs`` — build a table and
-  compress a path file (one space-separated path per line).
+  compress a path file (one space-separated path per line);
+  ``--format v2`` writes the mmap-friendly single-file layout instead of
+  the v1 blob.
 * ``python -m repro decompress IN.offs OUT.paths`` — restore the text file.
 * ``python -m repro stats IN.offs`` — archive health without decompression.
-* ``python -m repro retrieve IN.offs --id 42`` — fetch single paths.
+* ``python -m repro retrieve IN.offs --id 42`` — fetch single paths;
+  ``--slice X Y`` fetches ``path[X:Y]`` of each id without materializing
+  the rest (arithmetic over the expansion cache).
 * ``python -m repro query IN.offs --contains V`` / ``--between S D`` /
   ``--subpath V...`` / ``--via SRC W... DST`` — the paper's Case 1 / Case 2
   queries plus subpath and waypoint search.
+
+Every archive-reading command sniffs the file magic: v1 blobs (``RPCS``)
+are parsed in full, v2 files (``RPC2``) open as a
+:class:`~repro.core.mapped.MappedPathStore` — header-only open, per-path
+mmap seeks — so ``retrieve``/``query`` against a v2 archive touch only the
+paths they return.
 * ``python -m repro verify IN.offs`` — integrity + sampled round-trip.
 * ``python -m repro generate NAME OUT.paths`` — synthetic workloads.
 * ``python -m repro tune IN.paths`` — Exp-1-style (i, k) selection.
@@ -95,6 +105,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compress", help="compress a text path file into an archive")
     p.add_argument("input", help="text file, one space-separated path per line")
     p.add_argument("output", help="archive file to write")
+    p.add_argument("--format", choices=("v1", "v2"), default="v1", dest="fmt",
+                   help="archive layout: v1 in-memory blob (default) or v2 "
+                        "mmap-friendly single file (O(1)-seek retrievals)")
     _add_offs_options(p)
     _add_metrics_option(p)
 
@@ -112,6 +125,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("input", help="archive file")
     p.add_argument("--id", type=int, action="append", required=True,
                    dest="ids", help="path id (repeatable)")
+    p.add_argument("--slice", type=int, nargs=2, metavar=("X", "Y"),
+                   dest="window",
+                   help="print path[X:Y] of each id instead of the full "
+                        "path (no full-path materialization)")
 
     p = sub.add_parser("query", help="Case 1/2 retrieval queries")
     p.add_argument("input", help="archive file")
@@ -153,9 +170,17 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_store(path: str) -> CompressedPathStore:
+def _load_store(path: str):
+    """Open an archive by magic sniff: v1 parses fully, v2 memory-maps."""
+    from repro.core.serialize import STORE_V2_MAGIC
+
     with open(path, "rb") as fh:
-        return loads_store(fh.read())
+        magic = fh.read(4)
+        if magic == STORE_V2_MAGIC:
+            from repro.core.mapped import MappedPathStore
+
+            return MappedPathStore.open(path)
+        return loads_store(magic + fh.read())
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
@@ -176,11 +201,16 @@ def _cmd_compress(args: argparse.Namespace) -> int:
             corpus, codec.table, matcher_backend=args.backend
         )
         ratio = store.compression_ratio()
-        blob = dumps_store(store)
+        if args.fmt == "v2":
+            from repro.core.serialize import dumps_store_v2
+
+            blob = dumps_store_v2(store)
+        else:
+            blob = dumps_store(store)
     with open(args.output, "wb") as fh:
         fh.write(blob)
     print(f"{len(store):,} paths -> {args.output} "
-          f"({len(blob):,} bytes, CR={ratio:.2f}, "
+          f"({len(blob):,} bytes, {args.fmt}, CR={ratio:.2f}, "
           f"table={len(codec.table)} entries)")
     _write_metrics(args, obs)
     return 0
@@ -215,7 +245,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_retrieve(args: argparse.Namespace) -> int:
     store = _load_store(args.input)
     for path_id in args.ids:
-        path = store.retrieve(path_id)
+        if args.window is not None:
+            path = store.retrieve_slice(path_id, args.window[0], args.window[1])
+        else:
+            path = store.retrieve(path_id)
         print(" ".join(str(v) for v in path))
     return 0
 

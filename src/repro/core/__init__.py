@@ -16,7 +16,12 @@ The paper's primary contribution lives here:
   batch kernel.
 * :mod:`repro.core.offs` — the :class:`OFFSCodec` façade.
 * :mod:`repro.core.store` — per-path random-access compressed storage.
-* :mod:`repro.core.serialize` — versioned binary persistence.
+* :mod:`repro.core.expansion` — the memoized supernode-expansion cache
+  behind the decode fast path (batch kernel, slice retrieval).
+* :mod:`repro.core.serialize` — versioned binary persistence (v1 blobs
+  and the mmap-friendly v2 single-file layout).
+* :mod:`repro.core.mapped` — :class:`MappedPathStore`, zero-copy random
+  access over v2 files.
 """
 
 from repro.core.autotune import TuningResult, autotune
@@ -42,7 +47,9 @@ from repro.core.errors import (
     ReproError,
     StateError,
     TableError,
+    TruncatedDataError,
 )
+from repro.core.expansion import ExpansionCache, slice_token
 from repro.core.matcher import CandidateSet, HashCandidates, make_candidate_set
 from repro.core.parallel import parallel_compress, parallel_decompress
 from repro.core.segment import SegmentedArchive
@@ -52,7 +59,17 @@ from repro.core.validate import ValidationReport, validate_store
 from repro.core.multilevel import MultiLevelCandidates
 from repro.core.rollhash import FlatBatchKernel, RollingHashCandidates
 from repro.core.offs import OFFSCodec
-from repro.core.serialize import dumps_store, dumps_table, loads_store, loads_table
+from repro.core.mapped import MappedPathStore
+from repro.core.serialize import (
+    dump_store_file,
+    dumps_store,
+    dumps_store_v2,
+    dumps_table,
+    load_store_file,
+    loads_store,
+    loads_store_v2,
+    loads_table,
+)
 from repro.core.store import CompressedPathStore
 from repro.core.supernode_table import SupernodeTable
 from repro.core.trie import TrieCandidates
@@ -99,10 +116,18 @@ __all__ = [
     "TrieCandidates",
     "make_candidate_set",
     "OFFSCodec",
+    "dump_store_file",
     "dumps_store",
+    "dumps_store_v2",
     "dumps_table",
+    "load_store_file",
     "loads_store",
+    "loads_store_v2",
     "loads_table",
     "CompressedPathStore",
+    "MappedPathStore",
     "SupernodeTable",
+    "TruncatedDataError",
+    "ExpansionCache",
+    "slice_token",
 ]

@@ -84,13 +84,17 @@ def decompress_path(compressed: Sequence[int], table: SupernodeTable) -> Tuple[i
     """Restore one path from its compressed form (Algorithm 1).
 
     Every symbol at or above the table's ``base_id`` is expanded to its
-    subpath; vertex ids pass through unchanged.
+    subpath; vertex ids pass through unchanged.  Expansion reads from the
+    table's memoized :class:`~repro.core.expansion.ExpansionCache`, so the
+    per-symbol work is one dict lookup and a concatenation — nested
+    supernodes were already flattened when the cache was built.
     """
     out: List[int] = []
     base = table.base_id
+    expand = table.expansions().expand
     for symbol in compressed:
         if symbol >= base:
-            out.extend(table.expand(symbol))
+            out.extend(expand(symbol))
         else:
             out.append(symbol)
     return tuple(out)
@@ -308,30 +312,107 @@ def decompress_paths_flat(
     workers receive) or any token iterable; instrumented exactly like
     :func:`decompress_dataset`.
 
-    :param as_corpus: return the restored paths as a :class:`FlatCorpus`.
+    The kernel writes straight into one flat output buffer through the
+    table's precomputed expansion offsets — a single vectorized gather
+    when numpy is available, an ``array('q')`` extend loop otherwise —
+    and is byte-identical to per-path :func:`decompress_path` over the
+    same tokens.
+
+    :param as_corpus: return the restored paths as a :class:`FlatCorpus`
+        (zero tuple churn; the fast path for bulk consumers).
     """
     corpus = as_flat_corpus(tokens)
     obs = get_active()
     if obs is None:
-        out = [decompress_path(corpus.path(i), table) for i in range(len(corpus))]
-        return FlatCorpus.from_paths(out, name=corpus.name) if as_corpus else out
+        restored = _decompress_corpus(corpus, table)
+        return restored if as_corpus else restored.to_paths()
 
     with obs.tracer.span(catalog.SPAN_DECOMPRESS) as span, obs.registry.timeit(
         catalog.DECOMPRESS_SECONDS
     ):
-        out = [decompress_path(corpus.path(i), table) for i in range(len(corpus))]
+        restored = _decompress_corpus(corpus, table)
         symbols_in = corpus.total_symbols
-        symbols_out = sum(len(p) for p in out)
+        symbols_out = restored.total_symbols
         if span is not None:
-            span.add("paths", len(out))
+            span.add("paths", len(restored))
             span.add("symbols_in", symbols_in)
             span.add("symbols_out", symbols_out)
             span.add("flat", 1)
     registry = obs.registry
-    registry.counter(catalog.DECOMPRESS_PATHS).inc(len(out))
+    registry.counter(catalog.DECOMPRESS_PATHS).inc(len(restored))
     registry.counter(catalog.DECOMPRESS_SYMBOLS_IN).inc(symbols_in)
     registry.counter(catalog.DECOMPRESS_SYMBOLS_OUT).inc(symbols_out)
-    return FlatCorpus.from_paths(out, name=corpus.name) if as_corpus else out
+    registry.counter(catalog.DECOMPRESS_FLAT_BATCHES).inc()
+    return restored if as_corpus else restored.to_paths()
+
+
+def _decompress_corpus(corpus: FlatCorpus, table: SupernodeTable) -> FlatCorpus:
+    """Batch-expand a token corpus into a fresh path corpus (obs-free inner).
+
+    numpy route: per-symbol output lengths come from the expansion cache's
+    dense length array; their prefix sum places every symbol's expansion in
+    the output, and one gather through a combined source (expansions
+    concatenated ++ the token buffer itself, for literals) fills the whole
+    buffer without per-path Python work.
+    """
+    from array import array
+
+    cache = table.expansions()
+    arrays = corpus.as_numpy()
+    cache_arrays = cache.as_numpy()
+    if arrays is not None and cache_arrays is not None and len(corpus.buffer):
+        import numpy as np
+
+        buf, offs = arrays
+        concat, starts, exp_lengths = cache_arrays
+        base = table.base_id
+        mask = buf >= base
+        sids = buf[mask] - base
+        if len(sids) and (int(sids.max()) >= len(exp_lengths) or int(sids.min()) < 0):
+            bad = int(sids.max()) + base
+            raise TableError(f"unknown supernode id {bad}")
+        lengths = np.ones(len(buf), dtype=np.int64)
+        lengths[mask] = exp_lengths[sids]
+        out_starts = np.empty(len(buf) + 1, dtype=np.int64)
+        out_starts[0] = 0
+        np.cumsum(lengths, out=out_starts[1:])
+        # Unified gather source: expansion vertices first, then the token
+        # buffer itself so a literal at position i reads combined[C + i].
+        combined = np.concatenate((concat, buf))
+        src_start = np.arange(len(concat), len(concat) + len(buf), dtype=np.int64)
+        src_start[mask] = starts[sids]
+        within = np.arange(int(out_starts[-1]), dtype=np.int64) - np.repeat(
+            out_starts[:-1], lengths
+        )
+        out = combined[np.repeat(src_start, lengths) + within]
+        out_buffer = array("q")
+        out_buffer.frombytes(np.ascontiguousarray(out, dtype="<i8").tobytes())
+        out_offsets = array("q")
+        out_offsets.frombytes(
+            np.ascontiguousarray(out_starts[offs], dtype="<i8").tobytes()
+        )
+        return FlatCorpus(out_buffer, out_offsets, name=corpus.name)
+
+    # Pure-Python fallback: one pass, extending a flat buffer through the
+    # memoized expansions (still no per-path tuple materialization).
+    base = table.base_id
+    expand = cache.expand
+    buffer = corpus.buffer
+    out_buffer = array("q")
+    out_offsets = array("q", [0])
+    extend = out_buffer.extend
+    append = out_buffer.append
+    mark = out_offsets.append
+    start = 0
+    for end in list(corpus.offsets)[1:]:
+        for symbol in buffer[start:end]:
+            if symbol >= base:
+                extend(expand(symbol))
+            else:
+                append(symbol)
+        mark(len(out_buffer))
+        start = end
+    return FlatCorpus(out_buffer, out_offsets, name=corpus.name)
 
 
 def chunked(items: Sequence, chunk_size: int) -> Iterable[Sequence]:

@@ -46,3 +46,14 @@ class StateError(ReproError, RuntimeError):
 
 class BoundsError(ReproError, IndexError):
     """A positional index is out of range (also IndexError)."""
+
+
+class TruncatedDataError(CorruptDataError, BoundsError):
+    """A decoder ran off the end of (or before the start of) a byte buffer.
+
+    Inherits both :class:`CorruptDataError` (truncation *is* corruption —
+    archive loaders keep their single ``except CorruptDataError`` contract)
+    and :class:`BoundsError` (the proximate failure is an out-of-range byte
+    offset, so callers written against IndexError semantics also work).
+    Messages always carry the offending byte offset.
+    """

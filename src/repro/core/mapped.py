@@ -1,0 +1,313 @@
+"""Zero-copy, mmap-backed random access over the v2 store file format.
+
+``loads_store`` materializes an entire archive — every token parsed, every
+tuple allocated — before the first path can be served.  For the serving
+workloads the paper motivates (retrieve a handful of paths out of millions)
+that load cost dwarfs the query cost.  :class:`MappedPathStore` is the
+retrieval-oriented counterpart, in the spirit of CiNCT's query-first data
+structures and Log(Graph)'s offset-indexed mmap layouts:
+
+* **open = header only.**  Opening validates 64 bytes; cost is independent
+  of path count.  The table and the offset index stay as raw mapped bytes
+  until first touched (table decode also verifies the metadata CRC).
+* **O(1) seek.**  Path *i*'s tokens live at ``index[i]:index[i+1]`` in the
+  payload; retrieval reads exactly those bytes through the mapping —
+  the OS pages in only what queries touch.
+* **Same answers.**  ``retrieve`` / ``retrieve_slice`` / ``retrieve_many``
+  are result-identical to :class:`~repro.core.store.CompressedPathStore`
+  over the same archive (the round-trip property tests hold them to it),
+  and the reader duck-types the store's query surface, so
+  :class:`~repro.queries.index.VertexIndex`, the query engines and the CLI
+  work unchanged on top of either.
+
+Write files with :func:`repro.core.serialize.dump_store_file`; open them
+with :func:`~repro.core.serialize.load_store_file`, :meth:`MappedPathStore.open`,
+or construct directly over any bytes-like buffer (the in-memory route used
+by :func:`~repro.core.serialize.loads_store_v2` and the fuzz tests).
+"""
+
+from __future__ import annotations
+
+import mmap
+import zlib
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.errors import CorruptDataError, PathIdError, TruncatedDataError
+from repro.core.serialize import (
+    StoreV2Header,
+    _read_varint,
+    loads_table,
+    parse_store_v2_header,
+)
+from repro.obs import catalog
+from repro.obs.runtime import get_active
+
+
+class MappedPathStore:
+    """Read-only compressed path store over a v2 buffer or mapped file.
+
+    :param buffer: the complete v2 blob — ``bytes``, ``mmap.mmap`` or any
+        buffer supporting slicing; validated up to the header immediately.
+    :param name: label for ``repr`` and diagnostics (the file path when
+        opened via :meth:`open`).
+    """
+
+    def __init__(self, buffer, name: str = "<buffer>") -> None:
+        self.name = name
+        self._buf = buffer
+        self._mmap: Optional[mmap.mmap] = buffer if isinstance(buffer, mmap.mmap) else None
+        self._file = None
+        self._header: StoreV2Header = parse_store_v2_header(buffer)
+        self._table = None
+        self._index = None
+        obs = get_active()
+        if obs is not None:
+            obs.registry.set_gauge(catalog.STORE_MAPPED_BYTES, len(buffer))
+
+    @classmethod
+    def open(cls, path: str) -> "MappedPathStore":
+        """Memory-map the v2 file at *path*.
+
+        Only the header is read eagerly; with :mod:`repro.obs` active the
+        call is timed as ``store.open.seconds`` under a ``store.open``
+        span, and the mapping size lands on ``store.mapped_bytes``.
+        """
+        obs = get_active()
+        if obs is None:
+            return cls._open(path)
+        with obs.tracer.span(catalog.SPAN_STORE_OPEN) as span, obs.registry.timeit(
+            catalog.STORE_OPEN_SECONDS
+        ):
+            store = cls._open(path)
+            if span is not None:
+                span.add("paths", len(store))
+                span.add("bytes", len(store._buf))
+        return store
+
+    @classmethod
+    def _open(cls, path: str) -> "MappedPathStore":
+        fh = open(path, "rb")
+        try:
+            mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError as exc:  # zero-byte file cannot be mapped
+            fh.close()
+            raise TruncatedDataError(
+                f"v2 store file {path!r} is empty (truncated at byte offset 0)"
+            ) from exc
+        except OSError:
+            fh.close()
+            raise
+        try:
+            store = cls(mapped, name=path)
+        except CorruptDataError:
+            mapped.close()
+            fh.close()
+            raise
+        store._file = fh
+        return store
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the mapping (no-op for plain byte buffers)."""
+        if self._index is not None:
+            # The index memoryview exports a pointer into the mapping;
+            # mmap.close() refuses while any such export is alive.
+            self._index.release()
+            self._index = None
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "MappedPathStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- lazy sections ------------------------------------------------------------
+
+    @property
+    def table(self):
+        """The supernode table, decoded (and CRC-checked) on first access."""
+        if self._table is None:
+            header = self._header
+            meta = bytes(
+                self._buf[header.table_offset : header.payload_offset]
+            )
+            if zlib.crc32(meta) != header.meta_crc:
+                raise CorruptDataError(
+                    "v2 table/index checksum mismatch (file is corrupt)"
+                )
+            table_blob = meta[: header.table_size]
+            table, consumed = loads_table(table_blob)
+            if consumed != header.table_size:
+                raise CorruptDataError(
+                    "v2 table section size disagrees with its contents"
+                )
+            self._table = table
+        return self._table
+
+    def _offsets(self):
+        """The raw u64 offset index as a zero-copy memoryview cast."""
+        if self._index is None:
+            header = self._header
+            self._index = memoryview(self._buf)[
+                header.index_offset : header.payload_offset
+            ].cast("Q")
+        return self._index
+
+    # -- retrieval ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._header.path_count
+
+    def token(self, path_id: int) -> Tuple[int, ...]:
+        """The raw compressed token for *path_id*, parsed from the mapping."""
+        self._check_id(path_id)
+        index = self._offsets()
+        header = self._header
+        begin = header.payload_offset + index[path_id]
+        end = header.payload_offset + index[path_id + 1]
+        if begin > end or end > header.total_size:
+            raise CorruptDataError(
+                f"v2 offset index is not monotone at path {path_id}"
+            )
+        limit = self.table.base_id + len(self.table)
+        buf = self._buf
+        token: List[int] = []
+        push = token.append
+        pos = begin
+        while pos < end:
+            value, pos = _read_varint(buf, pos)
+            if value >= limit:
+                raise CorruptDataError(
+                    f"token references supernode {value} beyond table "
+                    f"(limit {limit}) at byte offset {pos}"
+                )
+            push(value)
+        return tuple(token)
+
+    def tokens(self) -> List[Tuple[int, ...]]:
+        """All compressed tokens in path-id order (parses the full payload)."""
+        return [self.token(pid) for pid in range(len(self))]
+
+    def retrieve(self, path_id: int) -> Tuple[int, ...]:
+        """Decompress and return the single path *path_id*."""
+        from repro.core.compressor import decompress_path
+
+        self._check_id(path_id)
+        obs = get_active()
+        if obs is None:
+            return decompress_path(self.token(path_id), self.table)
+        with obs.registry.timeit(catalog.STORE_RETRIEVE_SECONDS):
+            path = decompress_path(self.token(path_id), self.table)
+        obs.registry.counter(catalog.STORE_RETRIEVED_PATHS).inc()
+        return path
+
+    def retrieve_slice(
+        self, path_id: int, start: Optional[int] = None, stop: Optional[int] = None
+    ) -> Tuple[int, ...]:
+        """``retrieve(path_id)[start:stop]`` without full materialization.
+
+        Identical semantics to
+        :meth:`CompressedPathStore.retrieve_slice
+        <repro.core.store.CompressedPathStore.retrieve_slice>`.
+        """
+        from repro.core.expansion import slice_token
+
+        self._check_id(path_id)
+        obs = get_active()
+        if obs is None:
+            return slice_token(
+                self.token(path_id), self.table.expansions(), start, stop
+            )
+        with obs.registry.timeit(catalog.STORE_RETRIEVE_SLICE_SECONDS):
+            out = slice_token(
+                self.token(path_id), self.table.expansions(), start, stop
+            )
+        obs.registry.counter(catalog.STORE_RETRIEVED_SLICES).inc()
+        return out
+
+    def expanded_length(self, path_id: int) -> int:
+        """Decompressed length of *path_id* without expanding anything."""
+        self._check_id(path_id)
+        return self.table.expansions().token_length(self.token(path_id))
+
+    def retrieve_many(self, path_ids: Iterable[int]) -> List[Tuple[int, ...]]:
+        """Decompress exactly the given paths; ids validated up front."""
+        ids = list(path_ids)
+        for pid in ids:
+            self._check_id(pid)
+        return [self.retrieve(pid) for pid in ids]
+
+    def retrieve_all(self) -> List[Tuple[int, ...]]:
+        """Decompress the full archive through the flat batch kernel."""
+        from repro.core.compressor import decompress_paths_flat
+
+        return decompress_paths_flat(self.tokens(), self.table)
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        from repro.core.compressor import decompress_path
+
+        table = self.table
+        return (decompress_path(self.token(pid), table) for pid in range(len(self)))
+
+    def to_store(self, matcher_backend: str = "hash"):
+        """Materialize a fully in-memory :class:`CompressedPathStore` copy."""
+        from repro.core.store import CompressedPathStore
+
+        store = CompressedPathStore(self.table, matcher_backend=matcher_backend)
+        store._tokens.extend(self.tokens())
+        return store
+
+    # -- size accounting (same contracts as CompressedPathStore) -------------------
+
+    def compressed_symbol_count(self) -> int:
+        """Total integer symbols across all stored tokens."""
+        return sum(len(t) for t in self.tokens())
+
+    def compressed_size_bytes(self, encoding=None) -> int:
+        """``|P'| + |R|`` in bytes under *encoding* (default: the paper's)."""
+        from repro.paths.encoding import DEFAULT_ENCODING
+
+        encoding = encoding or DEFAULT_ENCODING
+        table = self.table
+        total = encoding.size_of_value(table.base_id)
+        for _, subpath in table:
+            total += encoding.size_of_value(len(subpath)) + encoding.size_of(subpath)
+        for token in self.tokens():
+            total += encoding.size_of_value(len(token)) + encoding.size_of(token)
+        return total
+
+    def raw_size_bytes(self, encoding=None) -> int:
+        """``|P|`` in bytes: what the uncompressed paths would cost."""
+        from repro.paths.encoding import DEFAULT_ENCODING
+
+        encoding = encoding or DEFAULT_ENCODING
+        total = 0
+        for path in self:
+            total += encoding.size_of_value(len(path)) + encoding.size_of(path)
+        return total
+
+    def compression_ratio(self, encoding=None) -> float:
+        """``CR = |P| / (|P'| + |R|)`` for the archive's contents."""
+        compressed = self.compressed_size_bytes(encoding)
+        return self.raw_size_bytes(encoding) / compressed if compressed else 0.0
+
+    # -- internals ----------------------------------------------------------------
+
+    def _check_id(self, path_id: int) -> None:
+        if not 0 <= path_id < self._header.path_count:
+            raise PathIdError(
+                f"path id {path_id} not in store of {self._header.path_count} paths"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"MappedPathStore(name={self.name!r}, paths={len(self)}, "
+            f"bytes={len(self._buf)})"
+        )

@@ -13,6 +13,12 @@ inconsistency):
   varint symbols.  The checksum makes *any* single-bit corruption of an
   archive detectable (the fuzz tests flip every byte and expect
   :class:`CorruptDataError`).
+* **Store file v2** — magic ``RPC2``: a fixed 64-byte header, the table
+  blob, a fixed-width per-path offset index, then the varint token
+  payload.  Designed for :class:`~repro.core.mapped.MappedPathStore`:
+  open cost is the header alone (milliseconds on multi-GB archives), any
+  path's tokens are an O(1) seek, and the table decodes lazily.  See
+  ``docs/formats.md`` for the byte-level diagram.
 
 Varints are used on disk regardless of the in-memory size model; frequent
 supernodes get small ids by construction, so the on-disk form is usually
@@ -25,7 +31,7 @@ import struct
 import zlib
 from typing import List, Tuple
 
-from repro.core.errors import CorruptDataError, TableError
+from repro.core.errors import CorruptDataError, TableError, TruncatedDataError
 from repro.core.store import CompressedPathStore
 from repro.core.supernode_table import SupernodeTable
 from repro.paths.encoding import VarintEncoding
@@ -34,6 +40,15 @@ _TABLE_MAGIC = b"RPST"
 _STORE_MAGIC = b"RPCS"
 _VERSION = 1
 _VARINT = VarintEncoding()
+
+#: v2 single-file layout (see docs/formats.md): fixed header, table blob,
+#: u64 offset index, varint token payload.
+STORE_V2_MAGIC = b"RPC2"
+STORE_V2_VERSION = 2
+#: ``<`` magic(4) version(B) pad(3x) path_count(Q) table_off(Q) table_size(Q)
+#: index_off(Q) payload_off(Q) payload_size(Q) meta_crc(I) header_crc(I)
+STORE_V2_HEADER = struct.Struct("<4sB3xQQQQQQII")
+STORE_V2_HEADER_SIZE = STORE_V2_HEADER.size  # 64 bytes
 
 
 def dumps_table(table: SupernodeTable) -> bytes:
@@ -134,13 +149,165 @@ def loads_store(data: bytes) -> CompressedPathStore:
     return store
 
 
-def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
-    """Decode one varint at *pos*; returns ``(value, new_pos)``."""
+# -- store format v2 (mmap-friendly single file) ---------------------------------
+
+
+class StoreV2Header:
+    """Decoded v2 header fields (section fenceposts into the file)."""
+
+    __slots__ = (
+        "path_count", "table_offset", "table_size",
+        "index_offset", "payload_offset", "payload_size", "meta_crc",
+    )
+
+    def __init__(self, path_count, table_offset, table_size,
+                 index_offset, payload_offset, payload_size, meta_crc):
+        self.path_count = path_count
+        self.table_offset = table_offset
+        self.table_size = table_size
+        self.index_offset = index_offset
+        self.payload_offset = payload_offset
+        self.payload_size = payload_size
+        self.meta_crc = meta_crc
+
+    @property
+    def index_size(self) -> int:
+        return 8 * (self.path_count + 1)
+
+    @property
+    def total_size(self) -> int:
+        return self.payload_offset + self.payload_size
+
+
+def dumps_store_v2(store: CompressedPathStore) -> bytes:
+    """Serialize *store* to the v2 single-file layout (see docs/formats.md).
+
+    Sections: 64-byte header, RPST table blob, ``paths + 1`` little-endian
+    u64 payload offsets (relative to the payload section), then each
+    path's symbols as bare varints (the offset index delimits paths, so no
+    per-token length prefix is written).  The header CRC covers the header;
+    ``meta_crc`` covers table + index, so all *structural* metadata is
+    checksummed without forcing a full-payload read at open time.
+    """
+    table_blob = dumps_table(store.table)
+    payload = bytearray()
+    index = bytearray(struct.pack("<Q", 0))
+    for token in store.tokens():
+        payload += _VARINT.encode(token)
+        index += struct.pack("<Q", len(payload))
+    table_offset = STORE_V2_HEADER_SIZE
+    index_offset = table_offset + len(table_blob)
+    payload_offset = index_offset + len(index)
+    meta_crc = zlib.crc32(bytes(table_blob + bytes(index)))
+    header = STORE_V2_HEADER.pack(
+        STORE_V2_MAGIC, STORE_V2_VERSION, len(store), table_offset,
+        len(table_blob), index_offset, payload_offset, len(payload),
+        meta_crc, 0,
+    )
+    header_crc = zlib.crc32(header[:-4])
+    header = header[:-4] + struct.pack("<I", header_crc)
+    return header + table_blob + bytes(index) + bytes(payload)
+
+
+def loads_store_v2(data: bytes):
+    """Open a v2 blob for random access (lazy table, zero-copy tokens).
+
+    Returns a :class:`~repro.core.mapped.MappedPathStore` over *data*; use
+    :func:`load_store_file` to map a file from disk instead of holding the
+    bytes in memory.  Unlike :func:`loads_store` nothing beyond the header
+    is parsed here — the table and tokens decode on first access.
+    """
+    from repro.core.mapped import MappedPathStore
+
+    return MappedPathStore(data)
+
+
+def parse_store_v2_header(data) -> StoreV2Header:
+    """Validate and decode a v2 header from the first 64 bytes of *data*.
+
+    Checks: magic, version, header CRC, section ordering, and that the
+    declared sections exactly tile the buffer — so *any* truncation is
+    caught here, before a single token is touched.
+    """
+    size = len(data)
+    if size < STORE_V2_HEADER_SIZE:
+        raise TruncatedDataError(
+            f"v2 store header needs {STORE_V2_HEADER_SIZE} bytes, "
+            f"buffer has {size}"
+        )
+    header = bytes(data[:STORE_V2_HEADER_SIZE])
+    (magic, version, path_count, table_offset, table_size, index_offset,
+     payload_offset, payload_size, meta_crc, header_crc) = STORE_V2_HEADER.unpack(header)
+    if magic != STORE_V2_MAGIC:
+        raise CorruptDataError("not a v2 store file (bad magic)")
+    if version != STORE_V2_VERSION:
+        raise CorruptDataError(f"unsupported v2 store version {version}")
+    if zlib.crc32(header[:-4]) != header_crc:
+        raise CorruptDataError("v2 header checksum mismatch (file is corrupt)")
+    parsed = StoreV2Header(
+        path_count, table_offset, table_size, index_offset,
+        payload_offset, payload_size, meta_crc,
+    )
+    if table_offset != STORE_V2_HEADER_SIZE:
+        raise CorruptDataError(f"v2 table section at unexpected offset {table_offset}")
+    if index_offset != table_offset + table_size:
+        raise CorruptDataError("v2 index section does not follow the table")
+    if payload_offset != index_offset + parsed.index_size:
+        raise CorruptDataError("v2 payload section does not follow the index")
+    if parsed.total_size != size:
+        raise TruncatedDataError(
+            f"v2 store declares {parsed.total_size} bytes but buffer has "
+            f"{size} (truncated or padded at byte offset {min(parsed.total_size, size)})"
+        )
+    return parsed
+
+
+def dump_store_file(store: CompressedPathStore, path: str) -> int:
+    """Write *store* to *path* in the v2 layout; returns bytes written.
+
+    The file is the native format of
+    :class:`~repro.core.mapped.MappedPathStore`: reopen it with
+    :func:`load_store_file` for O(1)-seek retrievals without a full parse.
+    """
+    blob = dumps_store_v2(store)
+    with open(path, "wb") as fh:
+        fh.write(blob)
+    return len(blob)
+
+
+def load_store_file(path: str):
+    """Memory-map a v2 store file written by :func:`dump_store_file`.
+
+    Returns a :class:`~repro.core.mapped.MappedPathStore`; opening costs
+    only the 64-byte header validation regardless of archive size.
+    """
+    from repro.core.mapped import MappedPathStore
+
+    return MappedPathStore.open(path)
+
+
+def _read_varint(data, pos: int) -> Tuple[int, int]:
+    """Decode one varint at *pos*; returns ``(value, new_pos)``.
+
+    Bounds are validated on every byte: a read past the end *or before the
+    start* of the buffer raises :class:`TruncatedDataError` carrying the
+    byte offset (a negative *pos* must never silently wrap to the buffer's
+    tail the way raw ``data[pos]`` indexing would).
+    """
+    size = len(data)
+    if pos < 0 or pos > size:
+        raise TruncatedDataError(
+            f"varint read at byte offset {pos} outside buffer of {size} bytes"
+        )
     value = 0
     shift = 0
+    start = pos
     while True:
-        if pos >= len(data):
-            raise CorruptDataError("truncated varint")
+        if pos >= size:
+            raise TruncatedDataError(
+                f"truncated varint at byte offset {start} "
+                f"(buffer ends at {size})"
+            )
         byte = data[pos]
         pos += 1
         value |= (byte & 0x7F) << shift
@@ -148,4 +315,6 @@ def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
             return value, pos
         shift += 7
         if shift > 63:
-            raise CorruptDataError("varint too long (corrupt stream)")
+            raise CorruptDataError(
+                f"varint too long at byte offset {start} (corrupt stream)"
+            )

@@ -17,7 +17,7 @@ The store is append-only; path ids are dense ints in insertion order.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.compressor import decompress_path
 from repro.core.errors import InvalidInputError, PathIdError
@@ -179,12 +179,46 @@ class CompressedPathStore:
         obs.registry.counter(catalog.STORE_RETRIEVED_PATHS).inc()
         return path
 
+    def retrieve_slice(
+        self, path_id: int, start: Optional[int] = None, stop: Optional[int] = None
+    ) -> Tuple[int, ...]:
+        """``retrieve(path_id)[start:stop]`` without full-path materialization.
+
+        Python slice semantics (``None`` bounds, negatives, clamping; no
+        step).  Token symbols outside the window are *skipped by
+        arithmetic* over the expansion cache's precomputed lengths, so a
+        narrow window into a long path costs O(token prefix + window) —
+        the Fig. 6 "partial" access pattern at sub-path granularity.
+        """
+        self._check_id(path_id)
+        from repro.core.expansion import slice_token
+
+        token = self._tokens[path_id]
+        obs = get_active()
+        if obs is None:
+            return slice_token(token, self.table.expansions(), start, stop)
+        with obs.registry.timeit(catalog.STORE_RETRIEVE_SLICE_SECONDS):
+            out = slice_token(token, self.table.expansions(), start, stop)
+        obs.registry.counter(catalog.STORE_RETRIEVED_SLICES).inc()
+        return out
+
+    def expanded_length(self, path_id: int) -> int:
+        """Decompressed length of *path_id* in O(token) — nothing expanded."""
+        self._check_id(path_id)
+        return self.table.expansions().token_length(self._tokens[path_id])
+
     def retrieve_many(self, path_ids: Iterable[int]) -> List[Tuple[int, ...]]:
         """Decompress exactly the given paths, leaving the rest compressed.
 
         This is the paper's partial decompression ``f^T : (Q', R) => Q``.
+        Every id is validated *before* any decode work starts, so a bad id
+        fails the whole call without side effects (no partially-counted
+        ``store.retrieved_paths``, no wasted expansion).
         """
-        return [self.retrieve(pid) for pid in path_ids]
+        ids = list(path_ids)
+        for pid in ids:
+            self._check_id(pid)
+        return [self.retrieve(pid) for pid in ids]
 
     def retrieve_all(self) -> List[Tuple[int, ...]]:
         """Decompress the full store (the DS measurement of Fig. 6a)."""

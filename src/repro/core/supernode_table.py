@@ -41,6 +41,7 @@ class SupernodeTable:
         self._by_id: Dict[int, Subpath] = {}
         self._by_subpath: Dict[Subpath, int] = {}
         self._max_subpath_len = 0
+        self._expansion_cache = None
         for sp in subpaths:
             self.add(sp)
 
@@ -72,6 +73,7 @@ class SupernodeTable:
         self._by_subpath[sp] = sid
         if len(sp) > self._max_subpath_len:
             self._max_subpath_len = len(sp)
+        self._expansion_cache = None  # expansions memoized per table state
         return sid
 
     # -- lookups ---------------------------------------------------------------
@@ -122,6 +124,34 @@ class SupernodeTable:
         )
 
     # -- derived data ------------------------------------------------------------
+
+    def expansions(self):
+        """The memoized :class:`~repro.core.expansion.ExpansionCache`.
+
+        Built on first use (every supernode flattened to its full vertex
+        tuple, iteratively) and reused until the table is mutated; the
+        decode paths — :func:`~repro.core.compressor.decompress_path`, the
+        batch kernel, slice retrieval — all read from this one snapshot.
+        Cache traffic is published as ``table.expansion_cache.*`` when the
+        obs layer is active.
+        """
+        from repro.core.expansion import ExpansionCache
+        from repro.obs import catalog
+        from repro.obs.runtime import get_active
+
+        cache = self._expansion_cache
+        obs = get_active()
+        if cache is None:
+            cache = ExpansionCache.from_table(self)
+            self._expansion_cache = cache
+            if obs is not None:
+                obs.registry.counter(catalog.TABLE_EXPANSION_CACHE_MISSES).inc()
+                obs.registry.set_gauge(
+                    catalog.TABLE_EXPANSION_CACHE_ENTRIES, len(cache)
+                )
+        elif obs is not None:
+            obs.registry.counter(catalog.TABLE_EXPANSION_CACHE_HITS).inc()
+        return cache
 
     @property
     def max_subpath_length(self) -> int:

@@ -86,6 +86,7 @@ COMPRESS_SECONDS = _timer("compress.seconds")
 DECOMPRESS_PATHS = _counter("decompress.paths")
 DECOMPRESS_SYMBOLS_IN = _counter("decompress.symbols_in")
 DECOMPRESS_SYMBOLS_OUT = _counter("decompress.symbols_out")
+DECOMPRESS_FLAT_BATCHES = _counter("decompress.flat_batches")
 DECOMPRESS_SECONDS = _timer("decompress.seconds")
 
 # -- table construction (repro.core.builder / repro.core.topdown) ---------------
@@ -108,11 +109,21 @@ STORE_INGESTED_PATHS = _counter("store.ingested_paths")
 STORE_INGESTED_SYMBOLS_IN = _counter("store.ingested_symbols_in")
 STORE_INGESTED_SYMBOLS_OUT = _counter("store.ingested_symbols_out")
 STORE_RETRIEVED_PATHS = _counter("store.retrieved_paths")
+STORE_RETRIEVED_SLICES = _counter("store.retrieved_slices")
 STORE_COMPRESSED_BYTES = _gauge("store.compressed_bytes")
 STORE_RAW_BYTES = _gauge("store.raw_bytes")
+STORE_MAPPED_BYTES = _gauge("store.mapped_bytes")
 STORE_INGEST_SECONDS = _timer("store.ingest.seconds")
 STORE_RETRIEVE_SECONDS = _timer("store.retrieve.seconds")
+STORE_RETRIEVE_SLICE_SECONDS = _timer("store.retrieve_slice.seconds")
 STORE_RETRIEVE_ALL_SECONDS = _timer("store.retrieve_all.seconds")
+STORE_OPEN_SECONDS = _timer("store.open.seconds")
+
+# -- supernode-expansion cache (repro.core.expansion) ----------------------------
+
+TABLE_EXPANSION_CACHE_HITS = _counter("table.expansion_cache.hits")
+TABLE_EXPANSION_CACHE_MISSES = _counter("table.expansion_cache.misses")
+TABLE_EXPANSION_CACHE_ENTRIES = _gauge("table.expansion_cache.entries")
 
 # -- probe-cost families (repro.core.probestats) --------------------------------
 #
@@ -145,6 +156,7 @@ SPAN_BUILD_TOPDOWN = _span("build.topdown")
 SPAN_BUILD_TOPDOWN_ROUND = _span("build.topdown.round")
 SPAN_STORE_INGEST = _span("store.ingest")
 SPAN_STORE_RETRIEVE_ALL = _span("store.retrieve_all")
+SPAN_STORE_OPEN = _span("store.open")
 
 
 # -- queries --------------------------------------------------------------------

@@ -65,16 +65,22 @@ class PathQueryEngine:
     def paths_between(self, source: int, destination: int) -> List[Tuple[int, ...]]:
         """All paths starting at *source* and ending at *destination*.
 
-        The index narrows candidates to paths containing both vertices; the
-        terminal check runs on the decompressed candidates (terminal
-        positions are not indexed, and candidates are few).
+        The index narrows candidates to paths containing both vertices;
+        terminal positions are then checked through one-vertex
+        ``retrieve_slice`` probes (arithmetic over the expansion cache —
+        terminal positions are not indexed), so only the actual matches
+        pay for a full decompression.
         """
         candidate_ids = self.index.paths_containing_all((source, destination))
+        store = self.store
         matches = []
         for path_id in candidate_ids:
-            path = self.store.retrieve(path_id)
-            if path and path[0] == source and path[-1] == destination:
-                matches.append(path)
+            head = store.retrieve_slice(path_id, 0, 1)
+            if not head or head[0] != source:
+                continue
+            if store.retrieve_slice(path_id, -1, None) != (destination,):
+                continue
+            matches.append(store.retrieve(path_id))
         return matches
 
     def intermediate_vertices(self, source: int, destination: int) -> Set[int]:

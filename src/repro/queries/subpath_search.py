@@ -29,11 +29,17 @@ Subpath = Tuple[int, ...]
 
 
 def _iter_expanded(token: Sequence[int], table) -> Iterator[int]:
-    """Lazily yield the decompressed vertices of a token."""
+    """Lazily yield the decompressed vertices of a token.
+
+    Expansions come from the table's memoized
+    :class:`~repro.core.expansion.ExpansionCache`, so repeated scans over
+    the same archive (the candidate loop below) never re-derive a subpath.
+    """
     base = table.base_id
+    expand = table.expansions().expand
     for symbol in token:
         if symbol >= base:
-            yield from table.expand(symbol)
+            yield from expand(symbol)
         else:
             yield symbol
 

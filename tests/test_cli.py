@@ -80,6 +80,65 @@ class TestCompressDecompress:
                   "--backend", "bloom"])
 
 
+class TestV2Format:
+    @pytest.fixture()
+    def archive_v2(self, paths_file, tmp_path):
+        source, ds = paths_file
+        out = tmp_path / "paths.rpc2"
+        assert main(["compress", str(source), str(out),
+                     "--sample-exponent", "0", "--format", "v2"]) == 0
+        return out, ds
+
+    def test_compress_v2_reports_format(self, paths_file, tmp_path, capsys):
+        source, _ = paths_file
+        assert main(["compress", str(source), str(tmp_path / "x.rpc2"),
+                     "--sample-exponent", "0", "--format", "v2"]) == 0
+        assert "v2" in capsys.readouterr().out
+
+    def test_decompress_roundtrip(self, archive_v2, tmp_path):
+        out, ds = archive_v2
+        restored = tmp_path / "restored.txt"
+        assert main(["decompress", str(out), str(restored)]) == 0
+        assert load_text(restored) == ds
+
+    def test_retrieve_from_v2(self, archive_v2, capsys):
+        out, _ = archive_v2
+        assert main(["retrieve", str(out), "--id", "0"]) == 0
+        assert capsys.readouterr().out.strip() == "1 2 3 4 5"
+
+    def test_query_over_v2(self, archive_v2, capsys):
+        out, _ = archive_v2
+        assert main(["query", str(out), "--between", "9", "8"]) == 0
+        assert "9 2 3 4 8" in capsys.readouterr().out
+
+    def test_stats_over_v2(self, archive_v2, capsys):
+        out, _ = archive_v2
+        assert main(["stats", str(out)]) == 0
+        assert "byte_ratio" in capsys.readouterr().out
+
+
+class TestRetrieveSliceOption:
+    def test_slice_window(self, archive, capsys):
+        out, _ = archive
+        assert main(["retrieve", str(out), "--id", "0", "--slice", "1", "4"]) == 0
+        assert capsys.readouterr().out.strip() == "2 3 4"
+
+    def test_slice_applies_to_every_id(self, archive, capsys):
+        out, _ = archive
+        assert main(["retrieve", str(out), "--id", "0", "--id", "34",
+                     "--slice", "0", "2"]) == 0
+        assert capsys.readouterr().out.strip().splitlines() == ["1 2", "7 6"]
+
+    def test_slice_on_v2_archive(self, paths_file, tmp_path, capsys):
+        source, _ = paths_file
+        out = tmp_path / "paths.rpc2"
+        assert main(["compress", str(source), str(out),
+                     "--sample-exponent", "0", "--format", "v2"]) == 0
+        capsys.readouterr()
+        assert main(["retrieve", str(out), "--id", "0", "--slice", "1", "4"]) == 0
+        assert capsys.readouterr().out.strip() == "2 3 4"
+
+
 class TestStats:
     def test_stats_table(self, archive, capsys):
         out, _ = archive

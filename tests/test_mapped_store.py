@@ -1,0 +1,226 @@
+"""Round-trip and behaviour tests for the v2 mapped store.
+
+The central contract: a :class:`MappedPathStore` over ``dumps_store_v2``
+output answers every query identically to the in-memory
+:class:`CompressedPathStore` it came from, and to a v1
+``dumps_store``/``loads_store`` round trip of the same archive — across
+matcher backends, varint widths and slice shapes.  Openness is lazy: the
+constructor touches 64 bytes, the table decodes on first access.
+"""
+
+import pytest
+
+from repro.core.config import MATCHER_BACKENDS, OFFSConfig
+from repro.core.errors import CorruptDataError, PathIdError
+from repro.core.mapped import MappedPathStore
+from repro.core.offs import OFFSCodec
+from repro.core.serialize import (
+    dump_store_file,
+    dumps_store,
+    dumps_store_v2,
+    load_store_file,
+    loads_store,
+    loads_store_v2,
+)
+from repro.core.store import CompressedPathStore
+from repro.core.supernode_table import SupernodeTable
+from repro.obs import catalog
+from repro.obs.runtime import instrumented
+from repro.paths.dataset import PathDataset
+
+
+def _dataset():
+    # Vertex ids chosen to exercise 1-, 2-, 3- and 5-byte varints.
+    wide = [7, 130, 16400, 1 << 21, (1 << 28) + 3]
+    return PathDataset(
+        [[1, 2, 3, 4, 5]] * 8
+        + [[9, 2, 3, 4]] * 4
+        + [wide] * 3
+        + [[1, 2, 3] + wide]
+        + [[42]]
+    )
+
+
+@pytest.fixture(scope="module", params=MATCHER_BACKENDS)
+def stores(request):
+    ds = _dataset()
+    codec = OFFSCodec(
+        OFFSConfig(iterations=3, sample_exponent=0, matcher=request.param),
+        base_id=(1 << 28) + 10,
+    )
+    memory = CompressedPathStore.from_codec(ds, codec)
+    mapped = loads_store_v2(dumps_store_v2(memory))
+    return memory, mapped
+
+
+class TestRoundTripEquivalence:
+    def test_length_and_tokens(self, stores):
+        memory, mapped = stores
+        assert len(mapped) == len(memory)
+        assert mapped.tokens() == memory.tokens()
+
+    def test_every_retrieve(self, stores):
+        memory, mapped = stores
+        for pid in range(len(memory)):
+            assert mapped.retrieve(pid) == memory.retrieve(pid)
+
+    def test_retrieve_all_and_iter(self, stores):
+        memory, mapped = stores
+        assert mapped.retrieve_all() == memory.retrieve_all()
+        assert list(mapped) == list(memory)
+
+    def test_retrieve_many(self, stores):
+        memory, mapped = stores
+        ids = [0, len(memory) - 1, 3]
+        assert mapped.retrieve_many(ids) == memory.retrieve_many(ids)
+
+    def test_slices_match_in_memory_store(self, stores):
+        memory, mapped = stores
+        for pid in range(len(memory)):
+            n = memory.expanded_length(pid)
+            assert mapped.expanded_length(pid) == n
+            for start, stop in [
+                (None, None), (0, 1), (-1, None), (1, -1), (2, 3), (-n, n + 5),
+            ]:
+                assert mapped.retrieve_slice(pid, start, stop) == \
+                    memory.retrieve_slice(pid, start, stop)
+
+    def test_matches_v1_round_trip(self, stores):
+        memory, mapped = stores
+        v1 = loads_store(dumps_store(memory))
+        assert mapped.tokens() == v1.tokens()
+        assert mapped.retrieve_all() == v1.retrieve_all()
+
+    def test_size_accounting_matches(self, stores):
+        memory, mapped = stores
+        assert mapped.compressed_symbol_count() == memory.compressed_symbol_count()
+        assert mapped.compressed_size_bytes() == memory.compressed_size_bytes()
+        assert mapped.raw_size_bytes() == memory.raw_size_bytes()
+        assert mapped.compression_ratio() == memory.compression_ratio()
+
+    def test_to_store_materializes_identical_archive(self, stores):
+        memory, mapped = stores
+        copy = mapped.to_store()
+        assert copy.tokens() == memory.tokens()
+        assert dumps_store_v2(copy) == dumps_store_v2(memory)
+
+
+class TestFileRoundTrip:
+    def test_dump_and_open(self, tmp_path):
+        memory = _make_small_store()
+        path = str(tmp_path / "archive.rpc2")
+        written = dump_store_file(memory, path)
+        with load_store_file(path) as mapped:
+            assert len(mapped._buf) == written
+            assert mapped.retrieve_all() == memory.retrieve_all()
+
+    def test_open_records_metrics(self, tmp_path):
+        memory = _make_small_store()
+        path = str(tmp_path / "archive.rpc2")
+        dump_store_file(memory, path)
+        with instrumented() as obs:
+            with MappedPathStore.open(path) as mapped:
+                mapped.retrieve(0)
+            reg = obs.registry
+            assert reg.timer(catalog.STORE_OPEN_SECONDS).count == 1
+            assert reg.gauge(catalog.STORE_MAPPED_BYTES).value > 0
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.rpc2"
+        path.write_bytes(b"")
+        with pytest.raises(CorruptDataError):
+            MappedPathStore.open(str(path))
+
+    def test_wrong_format_rejected(self, tmp_path):
+        memory = _make_small_store()
+        path = tmp_path / "v1.rpcs"
+        path.write_bytes(dumps_store(memory))
+        with pytest.raises(CorruptDataError):
+            MappedPathStore.open(str(path))
+
+
+class TestLaziness:
+    def test_table_not_decoded_until_accessed(self, tmp_path):
+        memory = _make_small_store()
+        path = str(tmp_path / "archive.rpc2")
+        dump_store_file(memory, path)
+        with MappedPathStore.open(path) as mapped:
+            assert mapped._table is None  # open parsed only the header
+            assert len(mapped) == len(memory)  # header-only query
+            assert mapped._table is None
+            mapped.retrieve(0)
+            assert mapped._table is not None
+
+    def test_open_cost_independent_of_path_count(self, tmp_path):
+        # Not a timing assertion (flaky); the structural guarantee is that
+        # opening never touches the index or payload sections.
+        memory = _make_small_store()
+        blob = bytearray(dumps_store_v2(memory))
+        header = loads_store_v2(bytes(blob))._header
+        # Corrupt the payload: open must still succeed (nothing there is
+        # read), and only retrieval may fail.
+        for pos in range(header.payload_offset, header.total_size):
+            blob[pos] ^= 0xFF
+        store = loads_store_v2(bytes(blob))
+        assert len(store) == len(memory)
+
+
+class TestValidation:
+    def test_retrieve_many_validates_up_front(self):
+        memory = _make_small_store()
+        mapped = loads_store_v2(dumps_store_v2(memory))
+        with instrumented() as obs:
+            with pytest.raises(PathIdError):
+                mapped.retrieve_many([0, 1, 999])
+            assert obs.registry.counter(catalog.STORE_RETRIEVED_PATHS).value == 0
+
+    def test_bad_ids_raise(self):
+        mapped = loads_store_v2(dumps_store_v2(_make_small_store()))
+        for bad in (-1, len(mapped), len(mapped) + 10):
+            with pytest.raises(PathIdError):
+                mapped.retrieve(bad)
+            with pytest.raises(PathIdError):
+                mapped.retrieve_slice(bad, 0, 1)
+
+
+class TestCloseSemantics:
+    def test_close_releases_mapping(self, tmp_path):
+        memory = _make_small_store()
+        path = str(tmp_path / "archive.rpc2")
+        dump_store_file(memory, path)
+        mapped = MappedPathStore.open(path)
+        mapped.retrieve(0)
+        _ = mapped.token(0)  # forces the index memoryview export
+        mapped.close()  # must not raise BufferError
+        mapped.close()  # idempotent
+
+    def test_context_manager(self, tmp_path):
+        memory = _make_small_store()
+        path = str(tmp_path / "archive.rpc2")
+        dump_store_file(memory, path)
+        with MappedPathStore.open(path) as mapped:
+            assert mapped.retrieve(0) == memory.retrieve(0)
+
+    def test_close_is_noop_for_byte_buffers(self):
+        mapped = loads_store_v2(dumps_store_v2(_make_small_store()))
+        mapped.retrieve(0)
+        mapped.close()
+
+
+class TestQueryLayerCompatibility:
+    def test_vertex_index_and_query_engine_work_unchanged(self):
+        from repro.queries.retrieval import PathQueryEngine
+
+        memory = _make_small_store()
+        mapped = loads_store_v2(dumps_store_v2(memory))
+        on_memory = PathQueryEngine(memory)
+        on_mapped = PathQueryEngine(mapped)
+        assert on_mapped.affected_vertices(2) == on_memory.affected_vertices(2)
+        assert on_mapped.paths_between(1, 5) == on_memory.paths_between(1, 5)
+
+
+def _make_small_store():
+    table = SupernodeTable(100, [(1, 2, 3), (4, 5)])
+    store = CompressedPathStore(table)
+    store.extend([(1, 2, 3, 4, 5), (1, 2, 3, 9), (4, 5, 6), (7, 8), (42,)])
+    return store

@@ -77,6 +77,66 @@ class TestRetrieval:
         with pytest.raises(PathIdError):
             store.retrieve(-1)
 
+    def test_retrieve_many_validates_all_ids_up_front(self, store):
+        # Regression: a bad id anywhere in the batch must fail the whole
+        # call before any path is decompressed — no partial side effects.
+        from repro.obs import catalog
+        from repro.obs.runtime import instrumented
+
+        with instrumented() as obs:
+            with pytest.raises(PathIdError):
+                store.retrieve_many([0, 1, 99])
+            assert obs.registry.counter(catalog.STORE_RETRIEVED_PATHS).value == 0
+
+    def test_retrieve_many_bad_id_first_or_last(self, store):
+        with pytest.raises(PathIdError):
+            store.retrieve_many([99, 0, 1])
+        with pytest.raises(PathIdError):
+            store.retrieve_many([0, 1, -1])
+
+    def test_retrieve_many_accepts_one_shot_iterators(self, store):
+        # Validation must not consume the ids before retrieval.
+        assert store.retrieve_many(iter([2, 0])) == [(7, 8), (1, 2, 3, 9)]
+
+
+class TestRetrieveSlice:
+    def test_matches_full_retrieve_slicing(self, store):
+        for pid in range(len(store)):
+            full = store.retrieve(pid)
+            n = len(full)
+            bounds = [None, 0, 1, 2, n - 1, n, n + 3, -1, -2, -n, -n - 3]
+            for start in bounds:
+                for stop in bounds:
+                    assert store.retrieve_slice(pid, start, stop) == full[start:stop], (
+                        pid,
+                        start,
+                        stop,
+                    )
+
+    def test_defaults_return_whole_path(self, store):
+        assert store.retrieve_slice(0) == store.retrieve(0)
+
+    def test_slice_inside_a_supernode(self, store):
+        # Path 0 compresses (1, 2, 3) into one supernode; a window that
+        # starts and ends mid-expansion must still be exact.
+        assert store.retrieve_slice(0, 1, 3) == (2, 3)
+
+    def test_unknown_id_raises(self, store):
+        with pytest.raises(PathIdError):
+            store.retrieve_slice(3, 0, 1)
+
+    def test_expanded_length(self, store):
+        for pid in range(len(store)):
+            assert store.expanded_length(pid) == len(store.retrieve(pid))
+
+    def test_slice_counts_metrics(self, store):
+        from repro.obs import catalog
+        from repro.obs.runtime import instrumented
+
+        with instrumented() as obs:
+            store.retrieve_slice(0, 0, 2)
+            assert obs.registry.counter(catalog.STORE_RETRIEVED_SLICES).value == 1
+
 
 class TestSizes:
     def test_compression_ratio_above_one_for_redundant_data(self, table):
