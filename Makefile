@@ -1,6 +1,6 @@
 # Convenience targets for the OFFS reproduction.
 
-.PHONY: install test lint bench bench-quick bench-smoke examples experiments clean
+.PHONY: install test lint bench bench-quick bench-smoke bench-serve examples experiments clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -27,6 +27,11 @@ bench-quick:
 # emits a single JSON blob; CI archives it as a non-blocking artifact.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/smoke.py --size tiny --out BENCH_smoke.json
+
+# Serving-layer load sweep (qps / p50 / p99 per worker count) against a
+# live pre-forked PathServer; CI archives the JSON as a non-blocking artifact.
+bench-serve:
+	PYTHONPATH=src python benchmarks/bench_serve.py --size small --out BENCH_serve.json
 
 experiments:
 	python -m repro.bench --size medium --out experiments_report.txt

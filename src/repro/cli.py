@@ -21,6 +21,9 @@ are parsed in full, v2 files (``RPC2``) open as a
 :class:`~repro.core.mapped.MappedPathStore` — header-only open, per-path
 mmap seeks — so ``retrieve``/``query`` against a v2 archive touch only the
 paths they return.
+* ``python -m repro serve --store X.rpc2 --workers N --port P`` — long-lived
+  JSON-over-HTTP query server (pre-forked workers over one mapped v2
+  store; see docs/serving.md).
 * ``python -m repro verify IN.offs`` — integrity + sampled round-trip.
 * ``python -m repro generate NAME OUT.paths`` — synthetic workloads.
 * ``python -m repro tune IN.paths`` — Exp-1-style (i, k) selection.
@@ -142,6 +145,18 @@ def _build_parser() -> argparse.ArgumentParser:
     group.add_argument("--via", type=int, nargs="+", metavar="V",
                        help="SRC [WAYPOINT...] DST: paths from SRC to DST "
                             "through the waypoints in order")
+
+    p = sub.add_parser("serve", help="serve a v2 archive over HTTP (JSON API)")
+    p.add_argument("--store", required=True, metavar="X.rpc2",
+                   help="v2 (RPC2) store file to serve, validated at startup")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port; 0 picks an ephemeral port (default 8080)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes sharing one listening socket")
+    p.add_argument("--metrics-dir", default=None, metavar="DIR",
+                   help="each worker writes its obs snapshot here at shutdown")
 
     p = sub.add_parser("generate", help="write a synthetic workload to a text file")
     p.add_argument("workload", help="alibaba | rome | porto | sanfrancisco | "
@@ -281,6 +296,29 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import PathServer, ServeConfig
+
+    config = ServeConfig(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        metrics_dir=args.metrics_dir,
+    )
+    server = PathServer(config)
+    server.start()   # a truncated/corrupt store fails here with one clean line
+    print(f"serving {server.path_count:,} paths from {args.store} "
+          f"on {server.address} with {config.workers} worker(s)", flush=True)
+    try:
+        server.join()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.workloads.registry import _FACTORIES
 
@@ -343,6 +381,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "retrieve": _cmd_retrieve,
     "query": _cmd_query,
+    "serve": _cmd_serve,
     "generate": _cmd_generate,
     "tune": _cmd_tune,
     "verify": _cmd_verify,

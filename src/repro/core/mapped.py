@@ -29,10 +29,16 @@ by :func:`~repro.core.serialize.loads_store_v2` and the fuzz tests).
 from __future__ import annotations
 
 import mmap
+import os
 import zlib
 from typing import Iterable, Iterator, List, Optional, Tuple
 
-from repro.core.errors import CorruptDataError, PathIdError, TruncatedDataError
+from repro.core.errors import (
+    CorruptDataError,
+    PathIdError,
+    StateError,
+    TruncatedDataError,
+)
 from repro.core.serialize import (
     StoreV2Header,
     _read_varint,
@@ -57,6 +63,7 @@ class MappedPathStore:
         self._buf = buffer
         self._mmap: Optional[mmap.mmap] = buffer if isinstance(buffer, mmap.mmap) else None
         self._file = None
+        self._owner_pid = os.getpid()
         self._header: StoreV2Header = parse_store_v2_header(buffer)
         self._table = None
         self._index = None
@@ -127,6 +134,77 @@ class MappedPathStore:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- process boundaries --------------------------------------------------------
+    #
+    # A mapping is an address-space resource: a forked worker inherits the
+    # parent's mmap and file descriptor (reads keep working, but the two
+    # processes now share OS state with no independent lifecycle), and a
+    # spawned worker cannot receive one at all — ``mmap.mmap`` does not
+    # pickle.  Long-lived servers (repro.serve) fan out over N workers, so
+    # the store knows which process opened it and can re-establish itself
+    # on the other side of any process boundary.
+
+    @property
+    def owner_pid(self) -> int:
+        """The pid of the process that opened (or unpickled) this store."""
+        return self._owner_pid
+
+    def reopen(self) -> "MappedPathStore":
+        """A fresh store over the same source — new fd, new mapping.
+
+        File-backed stores re-open (and re-validate) the file at
+        :attr:`name`; plain byte buffers are immutable and simply shared
+        with the new instance.
+
+        :raises StateError: for a store constructed over a raw ``mmap``
+            object with no backing path to re-open.
+        """
+        if self._file is not None:
+            return type(self).open(self.name)
+        if self._mmap is not None:
+            raise StateError(
+                f"cannot reopen {self!r}: it wraps a caller-owned mmap with "
+                "no backing file path; use MappedPathStore.open(path)"
+            )
+        return type(self)(self._buf, name=self.name)
+
+    def process_local(self) -> "MappedPathStore":
+        """This store if owned by the current process, else :meth:`reopen`.
+
+        The post-fork idiom for worker processes::
+
+            store = store.process_local()   # safe on either side of fork
+
+        A fork-inherited mapping still answers reads, but re-opening gives
+        the worker its own descriptor and mapping (independent close, and
+        the header/CRC validation re-runs against the file as it exists
+        now).  Owned stores are returned unchanged, so the call is free in
+        the common case.
+        """
+        if os.getpid() == self._owner_pid:
+            return self
+        return self.reopen()
+
+    def __getstate__(self):
+        # mmap objects cannot cross process boundaries; pickle the source
+        # instead.  This is what lets repro.serve (and any multiprocessing
+        # start method, including spawn) ship a store to worker processes.
+        if self._file is not None:
+            return {"path": self.name}
+        if self._mmap is not None:
+            raise StateError(
+                f"cannot pickle {self!r}: it wraps a caller-owned mmap with "
+                "no backing file path; use MappedPathStore.open(path)"
+            )
+        return {"buffer": bytes(self._buf), "name": self.name}
+
+    def __setstate__(self, state) -> None:
+        if "path" in state:
+            fresh = type(self)._open(state["path"])
+            self.__dict__.update(fresh.__dict__)
+        else:
+            self.__init__(state["buffer"], name=state["name"])
 
     # -- lazy sections ------------------------------------------------------------
 
@@ -243,6 +321,31 @@ class MappedPathStore:
         for pid in ids:
             self._check_id(pid)
         return [self.retrieve(pid) for pid in ids]
+
+    def retrieve_batch(self, path_ids: Iterable[int]) -> List[Tuple[int, ...]]:
+        """Decompress the given paths through the flat batch kernel.
+
+        Result-identical to :meth:`retrieve_many` (ids validated up front,
+        output order follows input order) but funnels all tokens through one
+        :func:`~repro.core.compressor.decompress_paths_flat` call instead of
+        a per-path loop — the route multi-id requests take in
+        :mod:`repro.serve`.
+        """
+        from repro.core.compressor import decompress_paths_flat
+
+        ids = list(path_ids)
+        for pid in ids:
+            self._check_id(pid)
+        if not ids:
+            return []
+        tokens = [self.token(pid) for pid in ids]
+        obs = get_active()
+        if obs is None:
+            return decompress_paths_flat(tokens, self.table)
+        with obs.registry.timeit(catalog.STORE_RETRIEVE_SECONDS):
+            out = decompress_paths_flat(tokens, self.table)
+        obs.registry.counter(catalog.STORE_RETRIEVED_PATHS).inc(len(ids))
+        return out
 
     def retrieve_all(self) -> List[Tuple[int, ...]]:
         """Decompress the full archive through the flat batch kernel."""

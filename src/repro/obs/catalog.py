@@ -119,6 +119,32 @@ STORE_RETRIEVE_SLICE_SECONDS = _timer("store.retrieve_slice.seconds")
 STORE_RETRIEVE_ALL_SECONDS = _timer("store.retrieve_all.seconds")
 STORE_OPEN_SECONDS = _timer("store.open.seconds")
 
+# -- path-query serving layer (repro.serve) --------------------------------------
+#
+# Every worker process owns its own registry (activated post-fork, like the
+# repro.core.parallel workers); the integration tests assert that the sum of
+# ``serve.requests`` over the per-worker shutdown snapshots equals the number
+# of requests the client sent — counters below must therefore be incremented
+# exactly once per handled request.
+
+SERVE_REQUESTS = _counter("serve.requests")
+SERVE_ERRORS = _counter("serve.errors")
+SERVE_REQUEST_SECONDS = _timer("serve.request.seconds")
+SERVE_RETRIEVE_REQUESTS = _counter("serve.retrieve.requests")
+SERVE_RETRIEVE_SECONDS = _timer("serve.retrieve.seconds")
+SERVE_RETRIEVE_SLICE_REQUESTS = _counter("serve.retrieve_slice.requests")
+SERVE_RETRIEVE_SLICE_SECONDS = _timer("serve.retrieve_slice.seconds")
+SERVE_RETRIEVE_MANY_REQUESTS = _counter("serve.retrieve_many.requests")
+SERVE_RETRIEVE_MANY_SECONDS = _timer("serve.retrieve_many.seconds")
+SERVE_EXPANDED_LENGTH_REQUESTS = _counter("serve.expanded_length.requests")
+SERVE_EXPANDED_LENGTH_SECONDS = _timer("serve.expanded_length.seconds")
+SERVE_PATHS_BETWEEN_REQUESTS = _counter("serve.paths_between.requests")
+SERVE_PATHS_BETWEEN_SECONDS = _timer("serve.paths_between.seconds")
+SERVE_SUBPATH_SEARCH_REQUESTS = _counter("serve.subpath_search.requests")
+SERVE_SUBPATH_SEARCH_SECONDS = _timer("serve.subpath_search.seconds")
+SERVE_BATCHES = _counter("serve.batches")
+SERVE_BATCH_PATHS = _counter("serve.batch_paths")
+
 # -- supernode-expansion cache (repro.core.expansion) ----------------------------
 
 TABLE_EXPANSION_CACHE_HITS = _counter("table.expansion_cache.hits")

@@ -1,0 +1,57 @@
+"""repro.serve — the path-query serving layer over mapped v2 stores.
+
+The paper's central claim is that compressed paths stay *queryable*;
+this package is that claim as a long-lived service.  A
+:class:`PathServer` pre-forks N worker processes over one read-only
+:class:`~repro.core.mapped.MappedPathStore` file (the OS shares the
+mapped pages between workers) and exposes the full query surface as
+JSON-over-HTTP, pure stdlib:
+
+========================  =======  =========================================
+endpoint                  method   answers
+========================  =======  =========================================
+``/v1/retrieve``          GET      one path, fully decompressed
+``/v1/retrieve_slice``    GET      ``path[start:stop]`` without the rest
+``/v1/retrieve_many``     GET/POST batch retrieval via the flat decode kernel
+``/v1/expanded_length``   GET      decompressed length, nothing expanded
+``/v1/paths_between``     GET      Case 2: paths from source to destination
+``/v1/subpath_search``    GET/POST exact contiguous-subpath containment
+``/healthz`` ``/v1/stats`` ``/metrics``  GET   liveness / archive shape / obs
+========================  =======  =========================================
+
+Quick start::
+
+    from repro.serve import PathServer, ServeConfig
+
+    with PathServer(ServeConfig("archive.rpc2", workers=4)) as server:
+        print(server.address)          # e.g. http://127.0.0.1:40123
+        server.join()                  # serve until the workers exit
+
+or from the shell: ``python -m repro serve --store archive.rpc2
+--workers 4 --port 8080``.  Endpoints, JSON shapes, the error schema and
+the worker model are documented in docs/serving.md.
+"""
+
+from repro.serve.app import StoreApp
+from repro.serve.protocol import (
+    MethodNotAllowedError,
+    UnknownEndpointError,
+    decode_body,
+    encode_body,
+    error_body,
+    status_for,
+)
+from repro.serve.server import PathServer, ServeConfig, check_store
+
+__all__ = [
+    "PathServer",
+    "ServeConfig",
+    "StoreApp",
+    "check_store",
+    "status_for",
+    "error_body",
+    "encode_body",
+    "decode_body",
+    "UnknownEndpointError",
+    "MethodNotAllowedError",
+]

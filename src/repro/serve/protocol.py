@@ -1,0 +1,178 @@
+"""The wire protocol of the serving layer: JSON shapes and error mapping.
+
+Every response body is a JSON object.  Successes carry the endpoint's
+payload directly (``{"id": 3, "path": [...]}``); failures carry a single
+``error`` object::
+
+    {"error": {"type": "PathIdError", "status": 404,
+               "message": "path id 999 not in store of 18 paths"}}
+
+``type`` is the :mod:`repro.core.errors` class name, so a client can
+dispatch on the same taxonomy the library raises.  When a corruption
+message carries a byte offset (the :class:`TruncatedDataError` contract),
+the offset is surfaced as a structured ``byte_offset`` field as well.
+
+The status mapping follows the error hierarchy, most specific first:
+
+==============================  ======  =====================================
+error                           status  meaning over HTTP
+==============================  ======  =====================================
+``PathIdError``                 404     unknown path id
+``InvalidInputError``           400     malformed parameter or body
+``BoundsError``                 400     out-of-range positional argument
+``TruncatedDataError``          500     the *store* is damaged, not the request
+``CorruptDataError``            500     checksum / structural corruption
+any other ``ReproError``        500     library failure
+==============================  ======  =====================================
+
+(``TruncatedDataError`` inherits both ``CorruptDataError`` and
+``BoundsError``; it is checked before the 400 branch because a truncated
+archive is a server-side fault whatever access pattern exposed it.)
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import (
+    BoundsError,
+    CorruptDataError,
+    InvalidInputError,
+    PathIdError,
+    ReproError,
+    TruncatedDataError,
+)
+
+#: HTTP status codes, named so handler code reads as intent.
+HTTP_OK = 200
+HTTP_BAD_REQUEST = 400
+HTTP_NOT_FOUND = 404
+HTTP_METHOD_NOT_ALLOWED = 405
+HTTP_INTERNAL_ERROR = 500
+
+_BYTE_OFFSET = re.compile(r"byte offset (\d+)")
+
+
+class UnknownEndpointError(PathIdError):
+    """404 — the request path is outside the route table."""
+
+    def __init__(self, route: str) -> None:
+        super().__init__(f"unknown endpoint {route!r}")
+
+
+class MethodNotAllowedError(InvalidInputError):
+    """405 — the route exists but not for this HTTP method."""
+
+    def __init__(self, method: str, route: str) -> None:
+        super().__init__(f"method {method} not allowed for {route!r}")
+
+
+def status_for(exc: BaseException) -> int:
+    """The HTTP status code an exception maps to (see the module table)."""
+    if isinstance(exc, PathIdError):
+        return HTTP_NOT_FOUND
+    if isinstance(exc, TruncatedDataError):
+        return HTTP_INTERNAL_ERROR
+    if isinstance(exc, (InvalidInputError, BoundsError)):
+        return HTTP_BAD_REQUEST
+    if isinstance(exc, CorruptDataError):
+        return HTTP_INTERNAL_ERROR
+    if isinstance(exc, ReproError):
+        return HTTP_INTERNAL_ERROR
+    if isinstance(exc, (ValueError, KeyError)):
+        return HTTP_BAD_REQUEST
+    return HTTP_INTERNAL_ERROR
+
+
+def error_body(exc: BaseException, status: Optional[int] = None) -> Dict[str, Any]:
+    """The structured ``{"error": {...}}`` body for an exception.
+
+    ``KeyError`` reprs its argument (so ``str(exc)`` is quoted); every other
+    message passes through verbatim.  A ``byte offset N`` phrase in the
+    message (the truncation-error contract) becomes a ``byte_offset`` field.
+    """
+    message = str(exc)
+    if isinstance(exc, KeyError) and exc.args:
+        message = str(exc.args[0])
+    error: Dict[str, Any] = {
+        "type": type(exc).__name__,
+        "status": status if status is not None else status_for(exc),
+        "message": message,
+    }
+    match = _BYTE_OFFSET.search(message)
+    if match is not None:
+        error["byte_offset"] = int(match.group(1))
+    return {"error": error}
+
+
+def encode_body(payload: Mapping[str, Any]) -> bytes:
+    """Serialize a response payload (compact separators, sorted keys)."""
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def decode_body(raw: bytes) -> Dict[str, Any]:
+    """Parse a JSON request body into a dict.
+
+    :raises InvalidInputError: for undecodable bytes, malformed JSON, or a
+        body whose top level is not an object — all client faults (400).
+    """
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise InvalidInputError(f"request body is not valid UTF-8: {exc}") from exc
+    try:
+        payload = json.loads(text) if text.strip() else {}
+    except json.JSONDecodeError as exc:
+        raise InvalidInputError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise InvalidInputError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+# -- parameter coercion -----------------------------------------------------------
+
+
+def require_int(params: Mapping[str, Any], name: str) -> int:
+    """The integer parameter *name*, or :class:`InvalidInputError` (400)."""
+    if name not in params:
+        raise InvalidInputError(f"missing required parameter {name!r}")
+    return coerce_int(params[name], name)
+
+
+def optional_int(params: Mapping[str, Any], name: str) -> Optional[int]:
+    """The integer parameter *name* when present and non-null, else None."""
+    value = params.get(name)
+    if value is None or value == "":
+        return None
+    return coerce_int(value, name)
+
+
+def coerce_int(value: Any, name: str) -> int:
+    """*value* as an int; booleans and non-numeric strings are rejected."""
+    if isinstance(value, bool):
+        raise InvalidInputError(f"parameter {name!r} must be an integer, got bool")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        try:
+            return int(value, 10)
+        except ValueError:
+            pass
+    raise InvalidInputError(f"parameter {name!r} must be an integer, got {value!r}")
+
+
+def int_list(value: Any, name: str) -> Tuple[int, ...]:
+    """*value* as a tuple of ints — accepts a JSON array or a "1,2,3" string."""
+    if isinstance(value, str):
+        parts: Sequence[Any] = [p for p in value.split(",") if p.strip() != ""]
+    elif isinstance(value, (list, tuple)):
+        parts = value
+    else:
+        raise InvalidInputError(
+            f"parameter {name!r} must be a list of integers, got {value!r}"
+        )
+    return tuple(coerce_int(part, name) for part in parts)

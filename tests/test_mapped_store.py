@@ -8,10 +8,15 @@ matcher backends, varint widths and slice shapes.  Openness is lazy: the
 constructor touches 64 bytes, the table decodes on first access.
 """
 
+import mmap
+import multiprocessing
+import os
+import pickle
+
 import pytest
 
 from repro.core.config import MATCHER_BACKENDS, OFFSConfig
-from repro.core.errors import CorruptDataError, PathIdError
+from repro.core.errors import CorruptDataError, PathIdError, StateError
 from repro.core.mapped import MappedPathStore
 from repro.core.offs import OFFSCodec
 from repro.core.serialize import (
@@ -205,6 +210,150 @@ class TestCloseSemantics:
         mapped = loads_store_v2(dumps_store_v2(_make_small_store()))
         mapped.retrieve(0)
         mapped.close()
+
+
+class TestRetrieveBatch:
+    """retrieve_batch = retrieve_many through the flat kernel."""
+
+    def test_matches_retrieve_many(self, stores):
+        memory, mapped = stores
+        n = len(mapped)
+        for ids in ([], [0], [n - 1, 0, 3], list(range(n)), [2, 2, 2]):
+            assert mapped.retrieve_batch(ids) == mapped.retrieve_many(ids)
+            assert mapped.retrieve_batch(ids) == memory.retrieve_many(ids)
+
+    def test_empty_batch_is_empty(self):
+        mapped = loads_store_v2(dumps_store_v2(_make_small_store()))
+        assert mapped.retrieve_batch([]) == []
+        assert mapped.retrieve_batch(iter(())) == []
+
+    def test_validates_up_front(self):
+        mapped = loads_store_v2(dumps_store_v2(_make_small_store()))
+        with instrumented() as obs:
+            with pytest.raises(PathIdError):
+                mapped.retrieve_batch([0, 1, 999])
+            # Nothing decompressed: the bad id failed before the kernel ran.
+            assert obs.registry.counter(catalog.STORE_RETRIEVED_PATHS).value == 0
+
+    def test_records_batch_metrics(self):
+        mapped = loads_store_v2(dumps_store_v2(_make_small_store()))
+        with instrumented() as obs:
+            mapped.retrieve_batch([0, 1, 2])
+            reg = obs.registry
+            assert reg.counter(catalog.STORE_RETRIEVED_PATHS).value == 3
+            assert reg.timer(catalog.STORE_RETRIEVE_SECONDS).count == 1
+
+
+_fork_required = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method not available on this platform",
+)
+
+
+class TestProcessBoundaries:
+    """The store survives pickling and forking (the repro.serve contract)."""
+
+    def test_pickle_round_trip_file_backed(self, tmp_path):
+        memory = _make_small_store()
+        path = str(tmp_path / "archive.rpc2")
+        dump_store_file(memory, path)
+        with MappedPathStore.open(path) as original:
+            clone = pickle.loads(pickle.dumps(original))
+            try:
+                assert clone is not original
+                assert clone.name == path
+                assert clone.owner_pid == os.getpid()
+                assert clone.retrieve_all() == original.retrieve_all()
+            finally:
+                clone.close()  # independent lifecycle from the original
+            assert original.retrieve(0) == memory.retrieve(0)
+
+    def test_pickle_round_trip_buffer_backed(self):
+        memory = _make_small_store()
+        original = loads_store_v2(dumps_store_v2(memory))
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.retrieve_all() == memory.retrieve_all()
+
+    def test_pickle_raw_mmap_rejected(self, tmp_path):
+        memory = _make_small_store()
+        path = str(tmp_path / "archive.rpc2")
+        dump_store_file(memory, path)
+        with open(path, "rb") as fh:
+            raw = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            try:
+                store = MappedPathStore(raw)  # caller-owned mapping, no path
+                with pytest.raises(StateError):
+                    pickle.dumps(store)
+                with pytest.raises(StateError):
+                    store.reopen()
+            finally:
+                raw.close()
+
+    def test_reopen_file_backed(self, tmp_path):
+        memory = _make_small_store()
+        path = str(tmp_path / "archive.rpc2")
+        dump_store_file(memory, path)
+        with MappedPathStore.open(path) as original:
+            fresh = original.reopen()
+            try:
+                assert fresh is not original
+                assert fresh.retrieve_all() == memory.retrieve_all()
+            finally:
+                fresh.close()
+            assert original.retrieve(0) == memory.retrieve(0)
+
+    def test_reopen_buffer_backed_shares_buffer(self):
+        original = loads_store_v2(dumps_store_v2(_make_small_store()))
+        fresh = original.reopen()
+        assert fresh is not original
+        assert fresh._buf is original._buf
+        assert fresh.retrieve_all() == original.retrieve_all()
+
+    def test_process_local_is_identity_in_owner(self, tmp_path):
+        memory = _make_small_store()
+        path = str(tmp_path / "archive.rpc2")
+        dump_store_file(memory, path)
+        with MappedPathStore.open(path) as store:
+            assert store.process_local() is store
+
+    @_fork_required
+    def test_fork_then_query_from_child(self, tmp_path):
+        """Regression: a forked worker re-establishes the store and answers
+        identically — the exact access pattern of a repro.serve worker."""
+        memory = _make_small_store()
+        path = str(tmp_path / "archive.rpc2")
+        dump_store_file(memory, path)
+        store = MappedPathStore.open(path)
+        try:
+            expected = store.retrieve_all()
+            context = multiprocessing.get_context("fork")
+            parent_conn, child_conn = context.Pipe(duplex=False)
+
+            def child() -> None:
+                local = store.process_local()
+                child_conn.send({
+                    "reopened": local is not store,
+                    "owner_is_child": local.owner_pid == os.getpid(),
+                    "paths": local.retrieve_all(),
+                    "batch": local.retrieve_batch([0, 2, 4]),
+                    "slice": local.retrieve_slice(0, 1, -1),
+                })
+                local.close()
+
+            worker = context.Process(target=child)
+            worker.start()
+            result = parent_conn.recv()
+            worker.join(10.0)
+            assert worker.exitcode == 0
+            assert result["reopened"] is True
+            assert result["owner_is_child"] is True
+            assert result["paths"] == expected
+            assert result["batch"] == store.retrieve_many([0, 2, 4])
+            assert result["slice"] == store.retrieve_slice(0, 1, -1)
+            # The parent's mapping is untouched by the child's lifecycle.
+            assert store.retrieve_all() == expected
+        finally:
+            store.close()
 
 
 class TestQueryLayerCompatibility:
