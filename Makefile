@@ -1,6 +1,6 @@
 # Convenience targets for the OFFS reproduction.
 
-.PHONY: install test lint bench bench-quick bench-smoke bench-serve examples experiments clean
+.PHONY: install test lint bench bench-quick bench-smoke bench-serve bench-shard examples experiments clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -32,6 +32,13 @@ bench-smoke:
 # live pre-forked PathServer; CI archives the JSON as a non-blocking artifact.
 bench-serve:
 	PYTHONPATH=src python benchmarks/bench_serve.py --size small --out BENCH_serve.json
+
+# Sharded write path: parallel build speedup (wall + projected), streaming
+# ingest peak-RSS flatness at 1x/2x/4x the medium tier, and the
+# monolithic-vs-sharded crossover; CI archives the JSON as a non-blocking
+# artifact.
+bench-shard:
+	PYTHONPATH=src python benchmarks/bench_shard.py --size medium --out BENCH_shard.json
 
 experiments:
 	python -m repro.bench --size medium --out experiments_report.txt

@@ -6,7 +6,9 @@ The operational surface a deployment needs, over the text/binary formats of
 * ``python -m repro compress IN.paths OUT.offs`` — build a table and
   compress a path file (one space-separated path per line);
   ``--format v2`` writes the mmap-friendly single-file layout instead of
-  the v1 blob.
+  the v1 blob; ``--shards N`` writes a *sharded* store instead (an
+  ``RPSM`` manifest plus N self-contained v2 shard files, compressed in
+  parallel across ``--processes`` workers; see docs/formats.md).
 * ``python -m repro decompress IN.offs OUT.paths`` — restore the text file.
 * ``python -m repro stats IN.offs`` — archive health without decompression.
 * ``python -m repro retrieve IN.offs --id 42`` — fetch single paths;
@@ -20,10 +22,12 @@ Every archive-reading command sniffs the file magic: v1 blobs (``RPCS``)
 are parsed in full, v2 files (``RPC2``) open as a
 :class:`~repro.core.mapped.MappedPathStore` — header-only open, per-path
 mmap seeks — so ``retrieve``/``query`` against a v2 archive touch only the
-paths they return.
+paths they return.  Shard manifests (``RPSM``) open as a
+:class:`~repro.core.sharded.ShardedPathStore`, whose queries fan out over
+the shards and return exactly what the monolithic archive would.
 * ``python -m repro serve --store X.rpc2 --workers N --port P`` — long-lived
   JSON-over-HTTP query server (pre-forked workers over one mapped v2
-  store; see docs/serving.md).
+  store or sharded manifest; see docs/serving.md).
 * ``python -m repro verify IN.offs`` — integrity + sampled round-trip.
 * ``python -m repro generate NAME OUT.paths`` — synthetic workloads.
 * ``python -m repro tune IN.paths`` — Exp-1-style (i, k) selection.
@@ -49,7 +53,7 @@ from typing import List, Optional
 from repro.analysis.stats import format_table
 from repro.core.config import MATCHER_BACKENDS, OFFSConfig
 from repro.core.offs import OFFSCodec
-from repro.core.serialize import dumps_store, loads_store
+from repro.core.serialize import dumps_store
 from repro.core.store import CompressedPathStore
 from repro.paths.io import load_text, save_text
 from repro.paths.dataset import PathDataset
@@ -111,6 +115,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("v1", "v2"), default="v1", dest="fmt",
                    help="archive layout: v1 in-memory blob (default) or v2 "
                         "mmap-friendly single file (O(1)-seek retrievals)")
+    p.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="write a sharded store: RPSM manifest + N v2 shard "
+                        "files compressed in parallel (0 = monolithic)")
+    p.add_argument("--processes", type=int, default=1, metavar="M",
+                   help="worker processes for the sharded build (with --shards)")
+    p.add_argument("--partition", choices=("range", "hash"), default="range",
+                   help="shard placement: contiguous id ranges (default) or "
+                        "modulo interleaving (with --shards)")
     _add_offs_options(p)
     _add_metrics_option(p)
 
@@ -148,7 +160,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("serve", help="serve a v2 archive over HTTP (JSON API)")
     p.add_argument("--store", required=True, metavar="X.rpc2",
-                   help="v2 (RPC2) store file to serve, validated at startup")
+                   help="v2 (RPC2) store file or sharded (RPSM) manifest to "
+                        "serve, validated at startup")
     p.add_argument("--host", default="127.0.0.1",
                    help="bind address (default 127.0.0.1)")
     p.add_argument("--port", type=int, default=8080,
@@ -186,16 +199,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _load_store(path: str):
-    """Open an archive by magic sniff: v1 parses fully, v2 memory-maps."""
-    from repro.core.serialize import STORE_V2_MAGIC
+    """Open an archive by magic sniff: v1 blob, v2 mmap, or shard manifest."""
+    from repro.core.sharded import open_store
 
-    with open(path, "rb") as fh:
-        magic = fh.read(4)
-        if magic == STORE_V2_MAGIC:
-            from repro.core.mapped import MappedPathStore
-
-            return MappedPathStore.open(path)
-        return loads_store(magic + fh.read())
+    return open_store(path)
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
@@ -212,6 +219,27 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     corpus = dataset.to_flat()
     with _metrics_scope(args) as obs:
         codec = OFFSCodec(config).fit(corpus)
+        if args.shards > 0:
+            from repro.core.sharded import ShardedPathStore, build_sharded_store
+
+            build_sharded_store(
+                corpus,
+                codec.table,
+                args.output,
+                shards=args.shards,
+                processes=args.processes,
+                partition=args.partition,
+                backend=args.backend,
+            )
+            sharded = ShardedPathStore.open(args.output)
+            print(f"{len(sharded):,} paths -> {args.output} "
+                  f"({sharded.mapped_bytes:,} bytes in {args.shards} "
+                  f"{args.partition} shard(s), "
+                  f"CR={sharded.compression_ratio():.2f}, "
+                  f"table={len(codec.table)} entries)")
+            sharded.close()
+            _write_metrics(args, obs)
+            return 0
         store = CompressedPathStore.from_corpus(
             corpus, codec.table, matcher_backend=args.backend
         )
@@ -270,6 +298,31 @@ def _cmd_retrieve(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     store = _load_store(args.input)
+    from repro.core.sharded import ShardedPathStore
+
+    if isinstance(store, ShardedPathStore):
+        # Native fan-out: per-shard indexes (correct even when a streaming
+        # refit left shards with different tables), global-id answers.
+        if args.contains is not None:
+            paths = store.affected_paths(args.contains)
+        elif args.between is not None:
+            paths = store.paths_between(args.between[0], args.between[1])
+        elif args.via is not None:
+            from repro.queries.pattern import PathPattern, PatternSearcher
+
+            if len(args.via) < 2:
+                print("error: --via needs at least SRC and DST", file=sys.stderr)
+                return 1
+            searcher = PatternSearcher(store, store.vertex_index())
+            paths = searcher.search(
+                PathPattern.via(args.via[0], args.via[1:-1], args.via[-1])
+            )
+        else:
+            paths = store.subpath_search(args.subpath)
+        for path in paths:
+            print(" ".join(str(v) for v in path))
+        print(f"# {len(paths)} path(s)", file=sys.stderr)
+        return 0
     engine = PathQueryEngine(store)
     if args.contains is not None:
         paths = engine.affected_paths(args.contains)

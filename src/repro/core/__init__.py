@@ -22,6 +22,8 @@ The paper's primary contribution lives here:
   and the mmap-friendly v2 single-file layout).
 * :mod:`repro.core.mapped` — :class:`MappedPathStore`, zero-copy random
   access over v2 files.
+* :mod:`repro.core.sharded` — :class:`ShardedPathStore`: parallel sharded
+  builds, LSM-style streaming ingest, and manifest-routed fan-out reads.
 """
 
 from repro.core.autotune import TuningResult, autotune
@@ -51,7 +53,12 @@ from repro.core.errors import (
 )
 from repro.core.expansion import ExpansionCache, slice_token
 from repro.core.matcher import CandidateSet, HashCandidates, make_candidate_set
-from repro.core.parallel import parallel_compress, parallel_decompress
+from repro.core.parallel import (
+    compress_corpora,
+    decompress_corpora,
+    parallel_compress,
+    parallel_decompress,
+)
 from repro.core.segment import SegmentedArchive
 from repro.core.stream import AutoSegmentingStream, StreamingCompressor
 from repro.core.topdown import TopDownRefiner
@@ -60,6 +67,13 @@ from repro.core.multilevel import MultiLevelCandidates
 from repro.core.rollhash import FlatBatchKernel, RollingHashCandidates
 from repro.core.offs import OFFSCodec
 from repro.core.mapped import MappedPathStore
+from repro.core.sharded import (
+    ShardedIngest,
+    ShardedPathStore,
+    ShardManifest,
+    build_sharded_store,
+    open_store,
+)
 from repro.core.serialize import (
     dump_store_file,
     dumps_store,
@@ -106,6 +120,8 @@ __all__ = [
     "StateError",
     "TableError",
     "CandidateSet",
+    "compress_corpora",
+    "decompress_corpora",
     "parallel_compress",
     "parallel_decompress",
     "AutoSegmentingStream",
@@ -126,6 +142,11 @@ __all__ = [
     "loads_table",
     "CompressedPathStore",
     "MappedPathStore",
+    "ShardedIngest",
+    "ShardedPathStore",
+    "ShardManifest",
+    "build_sharded_store",
+    "open_store",
     "SupernodeTable",
     "TruncatedDataError",
     "ExpansionCache",

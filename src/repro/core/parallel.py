@@ -8,9 +8,12 @@ ship the table to each worker once, map.
 
 Implementation notes:
 
-* ``multiprocessing`` with an initializer holds the table (and the static
-  matcher built from it) in worker-global state, so per-chunk pickling cost
-  is the chunk payload only, never table copies.
+* ``multiprocessing`` holds the table (and the static matcher built from
+  it) in worker-global state, so per-chunk pickling cost is the chunk
+  payload only, never table copies.  With the ``fork`` start method the
+  parent builds that state once *before* spawning the pool and the workers
+  inherit it copy-on-write — zero per-worker rebuild; other start methods
+  fall back to an initializer fed pickled ``(base_id, subpaths)``.
 * Chunks travel both directions as :class:`~repro.core.flatcorpus.FlatCorpus`
   shipping payloads — two machine-byte blobs (buffer + offsets) per chunk.
   Slicing a chunk out of the parent corpus is zero-copy (a memoryview of the
@@ -36,12 +39,14 @@ aggregates — see the differential test in
 from __future__ import annotations
 
 import multiprocessing
+from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.compressor import compress_paths_flat, decompress_paths_flat
 from repro.core.errors import InvalidInputError
 from repro.core.flatcorpus import FlatCorpus, ShippedCorpus, as_flat_corpus
 from repro.core.matcher import CandidateSet, static_matcher_from_table
+from repro.core.serialize import dumps_store_v2_tokens
 from repro.core.supernode_table import SupernodeTable
 from repro.obs.registry import MetricsRegistry
 from repro.obs.runtime import Instrumentation, activate, get_active
@@ -76,6 +81,50 @@ def _init_worker(
         _worker_registry = None
 
 
+def _init_worker_inherited(instrument: bool = False) -> None:
+    """Fork-start initializer: the parent set the worker globals *before*
+    the fork, so the child already holds table+matcher copy-on-write — no
+    per-worker rebuild, no initargs pickling.  Only the instrumentation (a
+    per-child registry) must be fresh."""
+    global _worker_registry
+    if instrument:
+        _worker_registry = MetricsRegistry()
+        activate(Instrumentation(_worker_registry, SpanTracer(enabled=False)))
+    else:
+        _worker_registry = None
+
+
+@contextmanager
+def _table_pool(processes: int, table: SupernodeTable, backend: str, instrument: bool):
+    """A worker pool whose processes hold (table, matcher) worker state.
+
+    With the ``fork`` start method the state is built once in the parent
+    and inherited copy-on-write; otherwise each worker rebuilds it from
+    pickled ``(base_id, subpaths)`` initargs.  Either way the workers run
+    the same chunk functions against the same state."""
+    global _worker_table, _worker_matcher
+    ctx = multiprocessing.get_context("fork") if hasattr(multiprocessing, "get_context") else multiprocessing
+    method = ctx.get_start_method() if hasattr(ctx, "get_start_method") else "fork"
+    if method == "fork":
+        _worker_table = table
+        _worker_matcher = static_matcher_from_table(table, backend)
+        try:
+            with ctx.Pool(
+                processes, initializer=_init_worker_inherited, initargs=(instrument,)
+            ) as pool:
+                yield pool
+        finally:
+            _worker_table = None
+            _worker_matcher = None
+    else:
+        with ctx.Pool(
+            processes,
+            initializer=_init_worker,
+            initargs=(table.base_id, table.subpaths, backend, instrument),
+        ) as pool:
+            yield pool
+
+
 def _chunk_metrics() -> Optional[Dict[str, Any]]:
     """This chunk's metric snapshot (the registry is reset per chunk)."""
     if _worker_registry is None:
@@ -90,6 +139,56 @@ def _compress_chunk(payload: ShippedCorpus) -> _ChunkResult:
     corpus = FlatCorpus.from_shipping(payload)
     tokens = compress_paths_flat(corpus, _worker_table, _worker_matcher, as_corpus=True)
     return tokens.to_shipping(), _chunk_metrics()
+
+
+def _serialize_shard_chunk(
+    payload: ShippedCorpus,
+) -> Tuple[bytes, int, Optional[Dict[str, Any]]]:
+    assert _worker_table is not None and _worker_matcher is not None
+    if _worker_registry is not None:
+        _worker_registry.reset()
+    corpus = FlatCorpus.from_shipping(payload)
+    tokens = compress_paths_flat(corpus, _worker_table, _worker_matcher)
+    return dumps_store_v2_tokens(_worker_table, tokens), len(tokens), _chunk_metrics()
+
+
+def _compress_corpora_blobs(
+    corpora: Sequence[FlatCorpus],
+    table: SupernodeTable,
+    processes: int = 2,
+    backend: str = "rolling",
+) -> List[Tuple[bytes, int]]:
+    """Compress each corpus and serialize it to a v2 blob inside the worker.
+
+    The write-path twin of :func:`compress_corpora`, used by the sharded
+    build: serialization is pure per-shard work, so shipping finished blobs
+    instead of token lists keeps the parent's critical path at
+    ``partition + spawn + max(shard)`` rather than re-paying every shard's
+    serialization sequentially after the barrier.  Each ``(blob, count)``
+    is byte-identical to serializing ``compress_corpora(...)[i]`` in the
+    parent, for any process count.
+    """
+    if processes < 1:
+        raise InvalidInputError("processes must be >= 1")
+    if not corpora:
+        return []
+    if processes == 1:
+        matcher = static_matcher_from_table(table, backend)
+        out1: List[Tuple[bytes, int]] = []
+        for corpus in corpora:
+            tokens = compress_paths_flat(corpus, table, matcher)
+            out1.append((dumps_store_v2_tokens(table, tokens), len(tokens)))
+        return out1
+    obs = get_active()
+    payloads = [corpus.to_shipping() for corpus in corpora]
+    with _table_pool(min(processes, len(payloads)), table, backend, obs is not None) as pool:
+        results = pool.map(_serialize_shard_chunk, payloads)
+    out: List[Tuple[bytes, int]] = []
+    for blob, count, metrics in results:
+        out.append((blob, count))
+        if metrics is not None and obs is not None:
+            obs.registry.merge_dict(metrics)
+    return out
 
 
 def _decompress_chunk(payload: ShippedCorpus) -> _ChunkResult:
@@ -118,12 +217,7 @@ def _run_parallel(
     if not payloads:
         return []
     obs = get_active()
-    ctx = multiprocessing.get_context("fork") if hasattr(multiprocessing, "get_context") else multiprocessing
-    with ctx.Pool(
-        processes,
-        initializer=_init_worker,
-        initargs=(table.base_id, table.subpaths, backend, obs is not None),
-    ) as pool:
+    with _table_pool(processes, table, backend, obs is not None) as pool:
         results = pool.map(worker, payloads)
     out: List[Tuple[int, ...]] = []
     for shipped, metrics in results:
@@ -150,6 +244,73 @@ def parallel_compress(
         matcher = static_matcher_from_table(table, backend)
         return compress_paths_flat(as_flat_corpus(paths), table, matcher)
     return _run_parallel(_compress_chunk, paths, table, processes, chunk_size, backend)
+
+
+def compress_corpora(
+    corpora: Sequence[FlatCorpus],
+    table: SupernodeTable,
+    processes: int = 2,
+    backend: str = "rolling",
+) -> List[List[Tuple[int, ...]]]:
+    """Compress each corpus in *corpora* against *table*; one token list per
+    corpus, in input order.
+
+    This is the fan-out primitive behind the sharded build
+    (:func:`repro.core.sharded.build_sharded_store`): each corpus is one
+    shard's paths, shipped whole to a worker through the same FlatCorpus
+    shipping path the chunked :func:`parallel_compress` uses, so per-shard
+    results are bit-identical to compressing the shard sequentially.
+    Metric snapshots fold back into the active registry exactly like the
+    chunked path (counter totals identical across process counts).
+    """
+    if processes < 1:
+        raise InvalidInputError("processes must be >= 1")
+    if not corpora:
+        return []
+    if processes == 1:
+        matcher = static_matcher_from_table(table, backend)
+        return [
+            compress_paths_flat(corpus, table, matcher) for corpus in corpora
+        ]
+    obs = get_active()
+    payloads = [corpus.to_shipping() for corpus in corpora]
+    with _table_pool(min(processes, len(payloads)), table, backend, obs is not None) as pool:
+        results = pool.map(_compress_chunk, payloads)
+    out: List[List[Tuple[int, ...]]] = []
+    for shipped, metrics in results:
+        out.append(FlatCorpus.from_shipping(shipped).to_paths())
+        if metrics is not None and obs is not None:
+            obs.registry.merge_dict(metrics)
+    return out
+
+
+def decompress_corpora(
+    corpora: Sequence[FlatCorpus],
+    table: SupernodeTable,
+    processes: int = 2,
+) -> List[List[Tuple[int, ...]]]:
+    """Decompress each token corpus in *corpora*; the inverse of
+    :func:`compress_corpora` (round-trips its output for any process count).
+
+    One path list per corpus, in input order — the fan-out shape a sharded
+    archive's per-shard token lists arrive in.
+    """
+    if processes < 1:
+        raise InvalidInputError("processes must be >= 1")
+    if not corpora:
+        return []
+    if processes == 1:
+        return [decompress_paths_flat(corpus, table) for corpus in corpora]
+    obs = get_active()
+    payloads = [corpus.to_shipping() for corpus in corpora]
+    with _table_pool(min(processes, len(payloads)), table, "hash", obs is not None) as pool:
+        results = pool.map(_decompress_chunk, payloads)
+    out: List[List[Tuple[int, ...]]] = []
+    for shipped, metrics in results:
+        out.append(FlatCorpus.from_shipping(shipped).to_paths())
+        if metrics is not None and obs is not None:
+            obs.registry.merge_dict(metrics)
+    return out
 
 
 def parallel_decompress(

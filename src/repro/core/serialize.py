@@ -189,18 +189,33 @@ def dumps_store_v2(store: CompressedPathStore) -> bytes:
     ``meta_crc`` covers table + index, so all *structural* metadata is
     checksummed without forcing a full-payload read at open time.
     """
-    table_blob = dumps_table(store.table)
+    return dumps_store_v2_tokens(store.table, store.tokens())
+
+
+def dumps_store_v2_tokens(table: SupernodeTable, tokens) -> bytes:
+    """The v2 blob for a bare ``(table, tokens)`` pair.
+
+    Byte-identical to :func:`dumps_store_v2` over a store holding the same
+    table and tokens.  This is the writer the sharded build path uses: a
+    shard's tokens come back from a worker process as plain tuples and
+    wrapping them in a throwaway :class:`CompressedPathStore` would rebuild
+    the matcher (hash table over every table entry) once per shard for no
+    reason.
+    """
+    table_blob = dumps_table(table)
     payload = bytearray()
     index = bytearray(struct.pack("<Q", 0))
-    for token in store.tokens():
+    count = 0
+    for token in tokens:
         payload += _VARINT.encode(token)
         index += struct.pack("<Q", len(payload))
+        count += 1
     table_offset = STORE_V2_HEADER_SIZE
     index_offset = table_offset + len(table_blob)
     payload_offset = index_offset + len(index)
     meta_crc = zlib.crc32(bytes(table_blob + bytes(index)))
     header = STORE_V2_HEADER.pack(
-        STORE_V2_MAGIC, STORE_V2_VERSION, len(store), table_offset,
+        STORE_V2_MAGIC, STORE_V2_VERSION, count, table_offset,
         len(table_blob), index_offset, payload_offset, len(payload),
         meta_crc, 0,
     )
@@ -220,6 +235,17 @@ def loads_store_v2(data: bytes):
     from repro.core.mapped import MappedPathStore
 
     return MappedPathStore(data)
+
+
+def loads_store_v2_tokens(data: bytes) -> Tuple[SupernodeTable, List[Tuple[int, ...]]]:
+    """Parse a v2 blob back into the bare ``(table, tokens)`` pair.
+
+    The eager inverse of :func:`dumps_store_v2_tokens` — round-trips every
+    blob that function produces.  Prefer :func:`loads_store_v2` when random
+    access (not the full token list) is the goal.
+    """
+    store = loads_store_v2(data)
+    return store.table, store.tokens()
 
 
 def parse_store_v2_header(data) -> StoreV2Header:

@@ -15,6 +15,12 @@ advanced stream mode that simultaneously handles reading and processing".
   ratio observed at training time, ``drifted`` turns on so the operator can
   schedule a refit (tables stay immutable — compressed data must remain
   decodable, so refitting means starting a new archive segment).
+
+With :mod:`repro.obs` active the drift watch is observable, not just a
+boolean: every steady-state ingest publishes ``stream.drift_ratio`` (the
+windowed ratio relative to the training ratio — 1.0 means "compressing as
+well as at train time") and each False→True drift transition increments
+``stream.drifted``, so compaction/refit decisions leave a metric trail.
 """
 
 from __future__ import annotations
@@ -26,6 +32,8 @@ from repro.core.builder import TableBuilder
 from repro.core.config import OFFSConfig
 from repro.core.errors import InvalidInputError, StateError
 from repro.core.store import CompressedPathStore
+from repro.obs import catalog
+from repro.obs.runtime import get_active
 from repro.paths.dataset import PathDataset
 
 
@@ -65,7 +73,13 @@ class StreamingCompressor:
         self._buffer: List[Tuple[int, ...]] = []
         self._store: Optional[CompressedPathStore] = None
         self._training_ratio: Optional[float] = None
-        self._recent: Deque[Tuple[int, int]] = deque(maxlen=window)
+        # Manual eviction (rather than deque(maxlen=...)) so the window's
+        # raw/compressed sums stay incremental: the drift gauge is updated
+        # on every steady-state ingest and must not rescan the window.
+        self._recent: Deque[Tuple[int, int]] = deque()
+        self._recent_raw = 0
+        self._recent_compressed = 0
+        self._was_drifted = False
         self.paths_seen = 0
 
     # -- state ---------------------------------------------------------------------
@@ -90,11 +104,28 @@ class StreamingCompressor:
         """``True`` when the recent symbol ratio fell below the refit bar."""
         if self._training_ratio is None or len(self._recent) < self.window:
             return False
-        raw = sum(r for r, _ in self._recent)
-        compressed = sum(c for _, c in self._recent)
-        if compressed == 0:
+        if self._recent_compressed == 0:
             return False
-        return (raw / compressed) < self.refit_ratio * self._training_ratio
+        windowed = self._recent_raw / self._recent_compressed
+        return windowed < self.refit_ratio * self._training_ratio
+
+    @property
+    def drift_ratio(self) -> Optional[float]:
+        """Windowed symbol ratio relative to the training ratio.
+
+        1.0 means the last ``window`` paths compress exactly as well as the
+        warm-up did; values below :attr:`refit_ratio` mean :attr:`drifted`.
+        ``None`` until a full window of steady-state traffic exists.
+        """
+        if (
+            self._training_ratio is None
+            or not self._training_ratio
+            or len(self._recent) < self.window
+            or self._recent_compressed == 0
+        ):
+            return None
+        windowed = self._recent_raw / self._recent_compressed
+        return windowed / self._training_ratio
 
     # -- ingestion -------------------------------------------------------------------
 
@@ -134,17 +165,62 @@ class StreamingCompressor:
         buffered, self._buffer = self._buffer, []
         for path in buffered:
             self._ingest(path)
-        ratios = [(r, c) for r, c in self._recent]
-        raw = sum(r for r, c in ratios)
-        compressed = sum(c for r, c in ratios)
-        self._training_ratio = (raw / compressed) if compressed else 1.0
+        self._training_ratio = (
+            (self._recent_raw / self._recent_compressed)
+            if self._recent_compressed
+            else 1.0
+        )
 
     def _ingest(self, path: Tuple[int, ...]) -> int:
         assert self._store is not None
         path_id = self._store.append(path)
         token = self._store.token(path_id)
         self._recent.append((len(path), len(token)))
+        self._recent_raw += len(path)
+        self._recent_compressed += len(token)
+        while len(self._recent) > self.window:
+            old_raw, old_compressed = self._recent.popleft()
+            self._recent_raw -= old_raw
+            self._recent_compressed -= old_compressed
+        self._publish_drift()
         return path_id
+
+    def _publish_drift(self) -> None:
+        """Surface the drift watch on the active registry (if any).
+
+        ``stream.drift_ratio`` tracks the windowed-vs-training ratio;
+        ``stream.drifted`` counts False→True transitions only, so the
+        counter reads as "number of drift events", not "paths spent
+        drifted".
+        """
+        now_drifted = self.drifted
+        obs = get_active()
+        if obs is not None:
+            ratio = self.drift_ratio
+            if ratio is not None:
+                obs.registry.set_gauge(catalog.STREAM_DRIFT_RATIO, ratio)
+            if now_drifted and not self._was_drifted:
+                obs.registry.counter(catalog.STREAM_DRIFTED).inc()
+        self._was_drifted = now_drifted
+
+    # -- compaction support ----------------------------------------------------------
+
+    def drain_tokens(self) -> List[Tuple[int, ...]]:
+        """Remove and return every compressed token accumulated so far.
+
+        The LSM-style seal primitive used by
+        :class:`~repro.core.sharded.ShardedIngest`: the caller persists the
+        returned tokens (with :attr:`store`'s frozen table) as an immutable
+        shard, and the memtable empties while the table, drift window and
+        training baseline stay intact.  Path ids restart at 0 after a
+        drain — callers that hand out global ids track their own offset.
+
+        :raises StateError: during warm-up (nothing is compressed yet).
+        """
+        store = self.store
+        tokens = list(store._tokens)
+        store._tokens.clear()
+        return tokens
 
     # -- reading ----------------------------------------------------------------------
 

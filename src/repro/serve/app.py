@@ -1,7 +1,9 @@
 """The endpoint logic of the serving layer, independent of HTTP plumbing.
 
-:class:`StoreApp` owns one read-only :class:`~repro.core.mapped.MappedPathStore`
-and answers the six query endpoints as plain dict payloads; the HTTP layer
+:class:`StoreApp` owns one read-only store — a
+:class:`~repro.core.mapped.MappedPathStore` or a
+:class:`~repro.core.sharded.ShardedPathStore` — and answers the six query
+endpoints as plain dict payloads; the HTTP layer
 (:mod:`repro.serve.server`) only parses requests, calls these methods and
 maps raised :mod:`repro.core.errors` onto the JSON error schema of
 :mod:`repro.serve.protocol`.  Keeping the app free of sockets makes the
@@ -50,7 +52,8 @@ class StoreApp:
         Both share one :class:`~repro.queries.index.VertexIndex`; the first
         ``paths_between`` / ``subpath_search`` request pays the build, every
         later one reuses it (the store is immutable, so no refresh is ever
-        needed).
+        needed).  Not used for sharded stores, which carry their own
+        fan-out query machinery (per-shard indexes with per-shard tables).
         """
         with self._index_lock:
             if self._engine is None:
@@ -91,9 +94,17 @@ class StoreApp:
         return {"id": path_id, "length": self.store.expanded_length(path_id)}
 
     def paths_between(self, source: int, destination: int) -> Dict[str, Any]:
-        """``GET /v1/paths_between`` — the paper's Case 2 terminal query."""
-        engine, _ = self._query_engines()
-        paths = engine.paths_between(source, destination)
+        """``GET /v1/paths_between`` — the paper's Case 2 terminal query.
+
+        A sharded store answers natively (per-shard index fan-out, results
+        value-identical to the monolithic engine); otherwise the lazily
+        built :class:`~repro.queries.retrieval.PathQueryEngine` does.
+        """
+        if hasattr(self.store, "paths_between"):
+            paths = self.store.paths_between(source, destination)
+        else:
+            engine, _ = self._query_engines()
+            paths = engine.paths_between(source, destination)
         return {
             "source": source,
             "destination": destination,
@@ -103,8 +114,11 @@ class StoreApp:
 
     def subpath_search(self, query: Sequence[int]) -> Dict[str, Any]:
         """``POST /v1/subpath_search`` — exact contiguous-subpath search."""
-        _, searcher = self._query_engines()
-        ids = searcher.search_ids(tuple(query))
+        if hasattr(self.store, "subpath_search_ids"):
+            ids = self.store.subpath_search_ids(tuple(query))
+        else:
+            _, searcher = self._query_engines()
+            ids = searcher.search_ids(tuple(query))
         paths = self.store.retrieve_batch(ids) if ids else []
         return {
             "query": list(query),
@@ -124,16 +138,37 @@ class StoreApp:
         }
 
     def stats(self) -> Dict[str, Any]:
-        """``GET /v1/stats`` — cheap archive shape (never decompresses)."""
+        """``GET /v1/stats`` — cheap archive shape (never decompresses).
+
+        For a sharded store the payload adds shard shape and reports the
+        shard-0 table (all shards share it unless a streaming refit split
+        the fingerprints, in which case the freshest tables differ and the
+        payload says how many there are).
+        """
         store = self.store
-        return {
+        payload: Dict[str, Any] = {
             "name": store.name,
             "paths": len(store),
-            "table_entries": len(store.table),
-            "table_base_id": store.table.base_id,
-            "mapped_bytes": len(store._buf),
             "worker": {"index": self.worker_index, "pid": os.getpid()},
         }
+        if hasattr(store, "manifest"):
+            fingerprints = store.table_fingerprints
+            reference = store.shard(0).table if store.shard_count else None
+            payload.update({
+                "shards": store.shard_count,
+                "partition": store.manifest.partition,
+                "distinct_tables": len(fingerprints),
+                "table_entries": len(reference) if reference else 0,
+                "table_base_id": reference.base_id if reference else 0,
+                "mapped_bytes": store.mapped_bytes,
+            })
+        else:
+            payload.update({
+                "table_entries": len(store.table),
+                "table_base_id": store.table.base_id,
+                "mapped_bytes": len(store._buf),
+            })
+        return payload
 
     def metrics(self) -> Dict[str, Any]:
         """``GET /metrics`` — this worker's live obs snapshot (or ``{}``)."""

@@ -7,9 +7,11 @@ nginx and gunicorn use, here in pure stdlib):
   truncated archive fails *here*, with a clean
   :class:`~repro.core.errors.TruncatedDataError`, not mid-request), binds
   one listening socket, then forks N workers;
-* each **worker** inherits the listening socket, opens its *own*
-  :class:`~repro.core.mapped.MappedPathStore` over the file (O(1) open —
-  the mmap'd pages are shared read-only between all workers by the OS),
+* each **worker** inherits the listening socket, opens its *own* store
+  over the file — a :class:`~repro.core.mapped.MappedPathStore` for a v2
+  archive, a :class:`~repro.core.sharded.ShardedPathStore` for an ``RPSM``
+  manifest (O(1) open either way — the mmap'd pages are shared read-only
+  between all workers by the OS),
   activates its own :mod:`repro.obs` registry (counters only, same policy
   as the :mod:`repro.core.parallel` pool workers) and runs a threading
   HTTP server whose ``accept`` competes on the shared socket — the kernel
@@ -40,6 +42,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.core.errors import InvalidInputError, ReproError, StateError
 from repro.core.mapped import MappedPathStore
+from repro.core.sharded import ShardedPathStore, open_store
 from repro.serve.app import StoreApp
 from repro.serve.protocol import (
     HTTP_METHOD_NOT_ALLOWED,
@@ -105,9 +108,20 @@ def check_store(store_path: str) -> int:
     Opens the file, parses the header (magic, CRC) and force-decodes the
     table (metadata CRC) so a truncated or corrupt archive fails at
     *startup* with a typed, offset-carrying error instead of surfacing as a
-    500 on some unlucky request.
+    500 on some unlucky request.  A sharded manifest (``RPSM``) validates
+    *every* shard the same way — headers, table CRCs and the manifest's
+    table fingerprints.
     """
-    with MappedPathStore.open(store_path) as store:
+    store = open_store(store_path)
+    if isinstance(store, ShardedPathStore):
+        with store:
+            return store.check()
+    if not isinstance(store, MappedPathStore):
+        raise InvalidInputError(
+            f"{store_path!r} is a v1 in-memory blob; repro.serve requires a "
+            "v2 (RPC2) store file or a sharded (RPSM) manifest"
+        )
+    with store:
         _ = store.table
         return len(store)
 
@@ -275,7 +289,7 @@ def _worker_main(
     # Own registry, counters only — identical policy to the parallel-pool
     # workers: a fork-inherited parent scope would silently drop counts.
     activate(Instrumentation(tracer=SpanTracer(enabled=False)))
-    store = MappedPathStore.open(store_path)
+    store = open_store(store_path)
     app = StoreApp(store, worker_index=worker_index)
     httpd = _WorkerHTTPServer(shared_socket, app)
     loop = threading.Thread(target=httpd.serve_forever, daemon=True)

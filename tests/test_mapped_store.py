@@ -243,6 +243,37 @@ class TestRetrieveBatch:
             assert reg.counter(catalog.STORE_RETRIEVED_PATHS).value == 3
             assert reg.timer(catalog.STORE_RETRIEVE_SECONDS).count == 1
 
+    def test_duplicate_ids_repeat_in_output(self, stores):
+        # Regression: duplicates must not be deduplicated by the grouping —
+        # each occurrence gets its own slot, in input order.
+        memory, mapped = stores
+        ids = [3, 0, 3, 3, 1, 0]
+        out = mapped.retrieve_batch(ids)
+        assert out == memory.retrieve_many(ids)
+        assert out[0] == out[2] == out[3] == mapped.retrieve(3)
+
+    def test_generator_input_single_pass(self, stores):
+        # Regression: a generator can only be consumed once; the batch path
+        # must materialize it exactly once (validate + decode off one list).
+        _, mapped = stores
+        ids = [4, 1, 4]
+        assert mapped.retrieve_batch(pid for pid in ids) == mapped.retrieve_many(ids)
+        consumed = iter(ids)
+        assert mapped.retrieve_batch(consumed) == mapped.retrieve_many(ids)
+        assert list(consumed) == []  # fully drained, not partially read
+
+    def test_generator_with_bad_id_fails_like_retrieve_many(self, stores):
+        # Up-front validation parity: same error class for the same input,
+        # even when the bad id hides at the end of a single-pass iterable.
+        _, mapped = stores
+        n = len(mapped)
+        with pytest.raises(PathIdError):
+            mapped.retrieve_many(pid for pid in [0, 1, n])
+        with pytest.raises(PathIdError):
+            mapped.retrieve_batch(pid for pid in [0, 1, n])
+        with pytest.raises(PathIdError):
+            mapped.retrieve_batch(pid for pid in [0, 1, -1])
+
 
 _fork_required = pytest.mark.skipif(
     "fork" not in multiprocessing.get_all_start_methods(),

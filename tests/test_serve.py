@@ -422,3 +422,91 @@ class TestCliServe:
             if proc.poll() is None:
                 proc.kill()
                 proc.communicate()
+
+
+# -- sharded manifests through the same server ------------------------------------
+
+
+class TestShardedServe:
+    """`repro serve` accepts an RPSM manifest; every endpoint answers
+    exactly what the monolithic archive of the same paths would."""
+
+    @pytest.fixture(scope="class")
+    def sharded_file(self, tmp_path_factory):
+        from repro.core.sharded import build_sharded_store
+
+        store = _build_store()
+        path = str(tmp_path_factory.mktemp("serve-sharded") / "archive.rpsm")
+        build_sharded_store(PATHS, store.table, path, shards=3)
+        return path
+
+    @pytest.fixture(scope="class", params=[1, 2], ids=["workers=1", "workers=2"])
+    def sharded_server(self, request, sharded_file):
+        config = ServeConfig(sharded_file, port=0, workers=request.param)
+        with PathServer(config) as srv:
+            yield srv
+
+    def test_check_store_validates_every_shard(self, sharded_file):
+        assert check_store(sharded_file) == len(PATHS)
+
+    def test_retrieve_endpoints_identical(self, sharded_server, direct):
+        store, _, _ = direct
+        for pid in range(len(PATHS)):
+            status, payload = get(sharded_server, "/v1/retrieve", id=pid)
+            assert status == 200
+            assert tuple(payload["path"]) == store.retrieve(pid)
+        status, payload = get(
+            sharded_server, "/v1/retrieve_slice", id=0, start=1, stop=-1
+        )
+        assert status == 200
+        assert tuple(payload["path"]) == store.retrieve_slice(0, 1, -1)
+        status, payload = post(
+            sharded_server, "/v1/retrieve_many", {"ids": [0, 7, 3, 7]}
+        )
+        assert status == 200
+        assert [tuple(p) for p in payload["paths"]] == store.retrieve_many([0, 7, 3, 7])
+        status, payload = get(sharded_server, "/v1/expanded_length", id=5)
+        assert status == 200
+        assert payload["length"] == store.expanded_length(5)
+
+    def test_query_endpoints_identical(self, sharded_server, direct):
+        _, engine, searcher = direct
+        status, payload = get(
+            sharded_server, "/v1/paths_between", source=1, destination=5
+        )
+        assert status == 200
+        assert [tuple(p) for p in payload["paths"]] == engine.paths_between(1, 5)
+        status, payload = post(sharded_server, "/v1/subpath_search", {"query": [2, 3]})
+        assert status == 200
+        assert payload["ids"] == searcher.search_ids((2, 3))
+        assert [tuple(p) for p in payload["paths"]] == searcher.search((2, 3))
+
+    def test_stats_reports_shard_shape(self, sharded_server):
+        status, payload = get(sharded_server, "/v1/stats")
+        assert status == 200
+        assert payload["paths"] == len(PATHS)
+        assert payload["shards"] == 3
+        assert payload["partition"] == "range"
+        assert payload["distinct_tables"] == 1
+        assert payload["mapped_bytes"] > 0
+
+    def test_unknown_id_is_structured_404(self, sharded_server):
+        status, payload = get(sharded_server, "/v1/retrieve", id=999)
+        assert status == 404
+        assert payload["error"]["type"] == "PathIdError"
+        assert sharded_server.workers_alive() == sharded_server.config.workers
+
+    def test_corrupt_manifest_fails_at_startup(self, sharded_file, tmp_path):
+        import shutil
+
+        bad_dir = tmp_path / "bad"
+        shutil.copytree(
+            __import__("os").path.dirname(sharded_file), bad_dir
+        )
+        bad = str(bad_dir / "archive.rpsm")
+        blob = bytearray(open(bad, "rb").read())
+        blob[-1] ^= 0xFF
+        with open(bad, "wb") as fh:
+            fh.write(bytes(blob))
+        with pytest.raises(CorruptDataError):
+            PathServer(ServeConfig(bad)).start()

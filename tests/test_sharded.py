@@ -1,0 +1,567 @@
+"""Differential and behaviour tests for the sharded path store.
+
+The central contract: a :class:`ShardedPathStore` over
+:func:`build_sharded_store` output answers every query *identically* to the
+monolithic archive of the same data — byte-identical for token/retrieve
+surfaces, value-identical for the fan-out queries — at every shard count,
+both partition functions, and any build process count.  Plus: streaming
+ingest seals correct immutable shards with bounded memtables, manifests
+reject corruption, and fan-out stores cross fork boundaries safely.
+"""
+
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from repro.core.config import OFFSConfig
+from repro.core.errors import (
+    CorruptDataError,
+    InvalidInputError,
+    PathIdError,
+    StateError,
+    TruncatedDataError,
+)
+from repro.core.mapped import MappedPathStore
+from repro.core.offs import OFFSCodec
+from repro.core.serialize import dumps_store_v2
+from repro.core.sharded import (
+    MANIFEST_MAGIC,
+    ShardInfo,
+    ShardManifest,
+    ShardedIngest,
+    ShardedPathStore,
+    build_sharded_store,
+    dumps_manifest,
+    loads_manifest,
+    open_store,
+    partition_corpus,
+    shard_filename,
+)
+from repro.core.store import CompressedPathStore
+from repro.paths.dataset import PathDataset
+from repro.queries.retrieval import PathQueryEngine
+from repro.queries.subpath_search import SubpathSearcher
+
+
+def _dataset():
+    # Repetitive enough to compress, varied enough that shards differ; the
+    # wide path exercises multi-byte varints inside a shard payload.
+    wide = [7, 130, 16400, 1 << 21, (1 << 28) + 3]
+    paths = []
+    for i in range(40):
+        paths.append([1, 2, 3, 4, 5, 100 + i])
+        paths.append([9, 2, 3, 4, 200 + (i % 7)])
+    paths += [wide] * 3 + [[1, 2, 3] + wide] + [[42]]
+    return PathDataset(paths)
+
+
+@pytest.fixture(scope="module")
+def corpus_and_table():
+    ds = _dataset()
+    codec = OFFSCodec(
+        OFFSConfig(iterations=3, sample_exponent=0), base_id=(1 << 28) + 10
+    )
+    corpus = ds.to_flat()
+    codec.fit(corpus)
+    return corpus, codec.table
+
+
+@pytest.fixture(scope="module")
+def monolithic(corpus_and_table):
+    corpus, table = corpus_and_table
+    store = CompressedPathStore(table)
+    store.extend(corpus.to_paths())
+    return store
+
+
+class TestManifestCodec:
+    def _manifest(self):
+        return ShardManifest(
+            "range",
+            [
+                ShardInfo("a.shard-00000.rpc2", 0, 10, 0xDEAD),
+                ShardInfo("a.shard-00001.rpc2", 10, 5, 0xBEEF),
+            ],
+        )
+
+    def test_round_trip(self):
+        manifest = self._manifest()
+        again = loads_manifest(dumps_manifest(manifest))
+        assert again.partition == "range"
+        assert again.path_count == 15
+        assert [s.as_json() for s in again.shards] == [
+            s.as_json() for s in manifest.shards
+        ]
+
+    def test_magic_and_truncation(self):
+        blob = dumps_manifest(self._manifest())
+        assert blob[:4] == MANIFEST_MAGIC
+        with pytest.raises(CorruptDataError):
+            loads_manifest(b"NOPE" + blob[4:])
+        with pytest.raises(TruncatedDataError):
+            loads_manifest(blob[:8])
+        with pytest.raises(TruncatedDataError):
+            loads_manifest(blob[:-3])
+
+    def test_json_crc_detects_corruption(self):
+        blob = bytearray(dumps_manifest(self._manifest()))
+        blob[-1] ^= 0xFF
+        with pytest.raises(CorruptDataError):
+            loads_manifest(bytes(blob))
+
+    def test_range_must_tile(self):
+        with pytest.raises(CorruptDataError):
+            ShardManifest(
+                "range",
+                [ShardInfo("a", 0, 10, 0), ShardInfo("b", 11, 5, 0)],
+            )
+
+    def test_hash_counts_must_match_modulo_placement(self):
+        with pytest.raises(CorruptDataError):
+            ShardManifest(
+                "hash",
+                [ShardInfo("a", None, 10, 0), ShardInfo("b", None, 2, 0)],
+            )
+
+    def test_unknown_partition_rejected(self):
+        with pytest.raises(InvalidInputError):
+            ShardManifest("zebra", [])
+
+    def test_routing_is_invertible(self):
+        for partition, counts in (
+            ("range", [4, 4, 3]),
+            ("hash", [4, 4, 3]),
+        ):
+            if partition == "range":
+                starts = [0, 4, 8]
+                infos = [
+                    ShardInfo(f"f{i}", starts[i], counts[i], 0) for i in range(3)
+                ]
+            else:
+                infos = [ShardInfo(f"f{i}", None, counts[i], 0) for i in range(3)]
+            manifest = ShardManifest(partition, infos)
+            seen = set()
+            for gid in range(manifest.path_count):
+                shard, local = manifest.locate(gid)
+                assert manifest.global_id(shard, local) == gid
+                seen.add((shard, local))
+            assert len(seen) == manifest.path_count
+        with pytest.raises(PathIdError):
+            manifest.locate(manifest.path_count)
+        with pytest.raises(PathIdError):
+            manifest.locate(-1)
+
+
+class TestPartitionCorpus:
+    def test_range_preserves_order_and_balance(self, corpus_and_table):
+        corpus, _ = corpus_and_table
+        parts = partition_corpus(corpus, 3, "range")
+        assert sum(len(p) for p in parts) == len(corpus)
+        assert max(len(p) for p in parts) - min(len(p) for p in parts) <= 1
+        flat = [path for part in parts for path in part.to_paths()]
+        assert flat == corpus.to_paths()
+
+    def test_hash_interleaves(self, corpus_and_table):
+        corpus, _ = corpus_and_table
+        parts = partition_corpus(corpus, 4, "hash")
+        paths = corpus.to_paths()
+        for index, part in enumerate(parts):
+            assert part.to_paths() == paths[index::4]
+
+    def test_bad_arguments(self, corpus_and_table):
+        corpus, _ = corpus_and_table
+        with pytest.raises(InvalidInputError):
+            partition_corpus(corpus, 0)
+        with pytest.raises(InvalidInputError):
+            partition_corpus(corpus, 2, "zebra")
+
+
+@pytest.fixture(
+    scope="module",
+    params=[("range", 2), ("range", 5), ("hash", 2), ("hash", 5)],
+    ids=lambda p: f"{p[0]}-{p[1]}",
+)
+def sharded(request, corpus_and_table, tmp_path_factory):
+    partition, shards = request.param
+    corpus, table = corpus_and_table
+    out = str(tmp_path_factory.mktemp("sharded") / f"{partition}{shards}.rpsm")
+    build_sharded_store(
+        corpus, table, out, shards=shards, processes=2, partition=partition
+    )
+    store = ShardedPathStore.open(out)
+    yield store
+    store.close()
+
+
+class TestDifferentialIdentity:
+    """Every endpoint, sharded vs monolithic, at 2 and 5 shards × both fns."""
+
+    def test_len_and_tokens_byte_identical(self, sharded, monolithic):
+        assert len(sharded) == len(monolithic)
+        assert sharded.tokens() == monolithic.tokens()
+        for pid in range(len(monolithic)):
+            assert sharded.token(pid) == monolithic.token(pid)
+
+    def test_retrieve_surfaces(self, sharded, monolithic):
+        for pid in range(len(monolithic)):
+            assert sharded.retrieve(pid) == monolithic.retrieve(pid)
+            assert sharded.expanded_length(pid) == len(monolithic.retrieve(pid))
+        assert sharded.retrieve_all() == monolithic.retrieve_all()
+        assert list(sharded) == list(monolithic)
+
+    def test_retrieve_slices(self, sharded, monolithic):
+        for pid in (0, 1, len(monolithic) - 1):
+            for window in ((None, None), (1, 3), (0, 1), (-1, None), (2, -1)):
+                assert sharded.retrieve_slice(pid, *window) == tuple(
+                    monolithic.retrieve(pid)[slice(*window)]
+                )
+
+    def test_retrieve_many_and_batch(self, sharded, monolithic):
+        n = len(monolithic)
+        for ids in ([], [0], [n - 1, 0, 3], list(range(n)), [2, 2, 2], [5, 3, 5]):
+            expected = monolithic.retrieve_many(ids)
+            assert sharded.retrieve_many(ids) == expected
+            assert sharded.retrieve_batch(ids) == expected
+        assert sharded.retrieve_batch(pid for pid in [4, 1, 4]) == \
+            monolithic.retrieve_many([4, 1, 4])
+        with pytest.raises(PathIdError):
+            sharded.retrieve_batch([0, n])
+        with pytest.raises(PathIdError):
+            sharded.retrieve_many([0, -1])
+
+    def test_fanout_queries_match_engines(self, sharded, monolithic):
+        engine = PathQueryEngine(monolithic)
+        for vertex in (2, 42, 7, 99999):
+            assert sharded.paths_containing(vertex) == \
+                engine.index.paths_containing(vertex)
+            assert sharded.affected_paths(vertex) == engine.affected_paths(vertex)
+        for src, dst in ((1, 105), (9, 200), (1, 42), (7, (1 << 28) + 3)):
+            assert sharded.paths_between(src, dst) == engine.paths_between(src, dst)
+        searcher = SubpathSearcher(monolithic, engine.index)
+        for query in ((2, 3, 4), (42,), (1, 2, 3), (5, 6)):
+            assert sharded.subpath_search_ids(query) == searcher.search_ids(query)
+            assert sharded.subpath_search(query) == searcher.search(query)
+
+    def test_vertex_index_view(self, sharded, monolithic):
+        engine = PathQueryEngine(monolithic)
+        view = sharded.vertex_index()
+        assert view.paths_containing(3) == engine.index.paths_containing(3)
+        assert view.paths_containing_all((2, 3)) == \
+            engine.index.paths_containing_all((2, 3))
+        assert view.paths_containing_any((42, 9)) == \
+            engine.index.paths_containing_any((42, 9))
+
+    def test_size_accounting(self, sharded, monolithic):
+        assert sharded.compressed_symbol_count() == monolithic.compressed_symbol_count()
+        assert sharded.compressed_size_bytes() == monolithic.compressed_size_bytes()
+        assert sharded.raw_size_bytes() == monolithic.raw_size_bytes()
+        assert sharded.compression_ratio() == pytest.approx(
+            monolithic.compression_ratio()
+        )
+
+    def test_table_shared_and_fingerprinted(self, sharded, monolithic):
+        assert len(sharded.table_fingerprints) == 1
+        assert sharded.table == monolithic.table
+
+
+class TestBuildDeterminism:
+    def test_identical_across_process_counts(self, corpus_and_table, tmp_path):
+        corpus, table = corpus_and_table
+        blobs = []
+        for processes in (1, 3):
+            out = str(tmp_path / f"p{processes}.rpsm")
+            build_sharded_store(
+                corpus, table, out, shards=3, processes=processes
+            )
+            shard_blobs = []
+            for i in range(3):
+                shard = str(tmp_path / shard_filename(f"p{processes}", i))
+                with open(shard, "rb") as fh:
+                    shard_blobs.append(fh.read())
+            blobs.append(shard_blobs)
+        assert blobs[0] == blobs[1]
+
+    def test_shards_are_self_contained_v2_files(self, corpus_and_table, tmp_path):
+        corpus, table = corpus_and_table
+        out = str(tmp_path / "solo.rpsm")
+        build_sharded_store(corpus, table, out, shards=2)
+        # Any v2 tooling opens a shard directly, no manifest required.
+        shard0 = MappedPathStore.open(str(tmp_path / shard_filename("solo", 0)))
+        assert shard0.table == table
+        assert shard0.retrieve(0) == corpus.to_paths()[0]
+        shard0.close()
+
+    def test_single_shard_equals_monolithic_file(self, corpus_and_table, monolithic, tmp_path):
+        corpus, table = corpus_and_table
+        out = str(tmp_path / "one.rpsm")
+        build_sharded_store(corpus, table, out, shards=1)
+        with open(str(tmp_path / shard_filename("one", 0)), "rb") as fh:
+            assert fh.read() == dumps_store_v2(monolithic)
+
+
+class TestOpenStoreSniffing:
+    def test_all_three_magics(self, corpus_and_table, monolithic, tmp_path):
+        corpus, table = corpus_and_table
+        v2 = str(tmp_path / "m.rpc2")
+        with open(v2, "wb") as fh:
+            fh.write(dumps_store_v2(monolithic))
+        manifest = str(tmp_path / "m.rpsm")
+        build_sharded_store(corpus, table, manifest, shards=2)
+        from repro.core.serialize import dumps_store
+
+        v1 = str(tmp_path / "m.offs")
+        with open(v1, "wb") as fh:
+            fh.write(dumps_store(monolithic))
+        assert isinstance(open_store(v2), MappedPathStore)
+        assert isinstance(open_store(manifest), ShardedPathStore)
+        assert isinstance(open_store(v1), CompressedPathStore)
+
+    def test_empty_file_is_truncation(self, tmp_path):
+        empty = str(tmp_path / "empty.rpc2")
+        open(empty, "wb").close()
+        with pytest.raises(TruncatedDataError, match="byte offset 0"):
+            open_store(empty)
+
+
+class TestCorruptionDetection:
+    def _built(self, corpus_and_table, tmp_path):
+        corpus, table = corpus_and_table
+        out = str(tmp_path / "c.rpsm")
+        build_sharded_store(corpus, table, out, shards=2)
+        return out, str(tmp_path / shard_filename("c", 0))
+
+    def test_fingerprint_mismatch_detected(self, corpus_and_table, tmp_path):
+        manifest_path, shard0 = self._built(corpus_and_table, tmp_path)
+        with open(manifest_path, "rb") as fh:
+            manifest = loads_manifest(fh.read())
+        manifest.shards[0].table_crc ^= 0xFF
+        with open(manifest_path, "wb") as fh:
+            fh.write(dumps_manifest(manifest))
+        store = ShardedPathStore.open(manifest_path)
+        with pytest.raises(CorruptDataError, match="fingerprint"):
+            store.retrieve(0)
+
+    def test_shard_count_mismatch_detected(self, corpus_and_table, tmp_path):
+        manifest_path, shard0 = self._built(corpus_and_table, tmp_path)
+        with open(manifest_path, "rb") as fh:
+            manifest = loads_manifest(fh.read())
+        # Swap the two shard files on disk: counts differ, so open fails.
+        shard1 = shard0.replace("shard-00000", "shard-00001")
+        a, b = open(shard0, "rb").read(), open(shard1, "rb").read()
+        with open(shard0, "wb") as fh:
+            fh.write(b)
+        with open(shard1, "wb") as fh:
+            fh.write(a)
+        store = ShardedPathStore.open(manifest_path)
+        with pytest.raises(CorruptDataError):
+            store.check()
+
+    def test_truncated_shard_detected(self, corpus_and_table, tmp_path):
+        manifest_path, shard0 = self._built(corpus_and_table, tmp_path)
+        blob = open(shard0, "rb").read()
+        with open(shard0, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        store = ShardedPathStore.open(manifest_path)
+        with pytest.raises(CorruptDataError):
+            store.check()
+
+
+_fork_required = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method not available on this platform",
+)
+
+
+class TestProcessBoundaries:
+    def test_pickle_round_trip_by_path(self, sharded):
+        clone = pickle.loads(pickle.dumps(sharded))
+        assert clone.retrieve_all() == sharded.retrieve_all()
+        assert clone.owner_pid == os.getpid()
+        clone.close()
+
+    def test_process_local_same_process_is_self(self, sharded):
+        assert sharded.process_local() is sharded
+
+    def test_reopen_is_fresh(self, sharded):
+        again = sharded.reopen()
+        assert again is not sharded
+        assert again.retrieve(0) == sharded.retrieve(0)
+        again.close()
+
+    def test_unbacked_store_refuses_pickle_and_reopen(self, sharded):
+        bare = ShardedPathStore(sharded.manifest, sharded.directory)
+        with pytest.raises(StateError):
+            pickle.dumps(bare)
+        with pytest.raises(StateError):
+            bare.reopen()
+
+    @_fork_required
+    def test_fork_after_open_child_and_parent_identical(
+        self, corpus_and_table, monolithic, tmp_path
+    ):
+        """Fork after open (shards already mapped); child must re-map via
+        process_local() and both sides answer byte-identically."""
+        corpus, table = corpus_and_table
+        out = str(tmp_path / "fork.rpsm")
+        build_sharded_store(corpus, table, out, shards=3)
+        store = ShardedPathStore.open(out)
+        expected = {
+            "paths": monolithic.retrieve_all(),
+            "batch": monolithic.retrieve_many([0, 7, 3]),
+            "between": PathQueryEngine(monolithic).paths_between(1, 105),
+        }
+        # Touch every shard pre-fork so mapped state crosses the fork.
+        assert store.retrieve_all() == expected["paths"]
+
+        context = multiprocessing.get_context("fork")
+        parent_conn, child_conn = context.Pipe()
+
+        def child() -> None:
+            local = store.process_local()
+            child_conn.send({
+                "reopened": local is not store,
+                "owner_is_child": local.owner_pid == os.getpid(),
+                "paths": local.retrieve_all(),
+                "batch": local.retrieve_batch([0, 7, 3]),
+                "between": local.paths_between(1, 105),
+            })
+            local.close()
+
+        worker = context.Process(target=child)
+        worker.start()
+        result = parent_conn.recv()
+        worker.join(10.0)
+        assert worker.exitcode == 0
+        assert result["reopened"] is True
+        assert result["owner_is_child"] is True
+        assert result["paths"] == expected["paths"]
+        assert result["batch"] == expected["batch"]
+        assert result["between"] == expected["between"]
+        # The parent's store is untouched by the child's lifecycle.
+        assert store.owner_pid == os.getpid()
+        assert store.retrieve_all() == expected["paths"]
+        assert store.retrieve_batch([0, 7, 3]) == expected["batch"]
+        assert store.paths_between(1, 105) == expected["between"]
+        store.close()
+
+
+class TestStreamingIngest:
+    def _paths(self, n=700):
+        # Deterministic mildly varied traffic over a fixed vocabulary.
+        return [
+            (1 + (i % 9), 2, 3, 4, 5 + (i % 4), 60 + (i % 11))
+            for i in range(n)
+        ]
+
+    def test_seal_and_reopen_round_trip(self, tmp_path):
+        paths = self._paths()
+        out = str(tmp_path / "stream.rpsm")
+        with ShardedIngest(out, train_after=50, memtable_paths=200, window=30) as ingest:
+            gids = ingest.feed_many(paths)
+            assert len(ingest) == len(paths)
+        store = ShardedPathStore.open(out)
+        assert len(store) == len(paths)
+        assert store.shard_count >= len(paths) // 200
+        assert store.retrieve_all() == [tuple(p) for p in paths]
+        # Steady-state global ids point at the right paths forever.
+        for i, gid in enumerate(gids):
+            if gid is not None:
+                assert store.retrieve(gid) == tuple(paths[i])
+        store.close()
+
+    def test_memtable_memory_is_bounded(self, tmp_path):
+        out = str(tmp_path / "bounded.rpsm")
+        with ShardedIngest(out, train_after=50, memtable_paths=100, window=30) as ingest:
+            high_water = 0
+            for path in self._paths(650):
+                ingest.feed(path)
+                high_water = max(high_water, len(ingest._stream))
+                # The live memtable never exceeds its seal threshold.
+                assert len(ingest._stream) <= 100
+            assert ingest.sealed_paths >= 600
+        assert high_water <= 100
+
+    def test_background_seal_identical(self, tmp_path):
+        paths = self._paths()
+        fg, bg = str(tmp_path / "fg.rpsm"), str(tmp_path / "bg.rpsm")
+        with ShardedIngest(fg, train_after=50, memtable_paths=200, window=30) as ingest:
+            ingest.feed_many(paths)
+        with ShardedIngest(
+            bg, train_after=50, memtable_paths=200, window=30, background=True
+        ) as ingest:
+            ingest.feed_many(paths)
+        with open(fg, "rb") as fh:
+            fg_manifest = loads_manifest(fh.read())
+        with open(bg, "rb") as fh:
+            bg_manifest = loads_manifest(fh.read())
+        assert [(s.start, s.count, s.table_crc) for s in fg_manifest.shards] == \
+            [(s.start, s.count, s.table_crc) for s in bg_manifest.shards]
+        for i in range(fg_manifest.shard_count):
+            a = open(str(tmp_path / shard_filename("fg", i)), "rb").read()
+            b = open(str(tmp_path / shard_filename("bg", i)), "rb").read()
+            assert a == b
+
+    def test_manifest_readable_between_seals(self, tmp_path):
+        paths = self._paths(500)
+        out = str(tmp_path / "live.rpsm")
+        ingest = ShardedIngest(out, train_after=50, memtable_paths=100, window=30)
+        ingest.feed_many(paths)
+        # Not closed: readers still see every *sealed* prefix, consistently.
+        store = ShardedPathStore.open(out)
+        sealed = len(store)
+        assert sealed == ingest.sealed_paths
+        assert store.retrieve_all() == [tuple(p) for p in paths[:sealed]]
+        store.close()
+        ingest.close()
+
+    def test_refit_on_drift_starts_new_fingerprint(self, tmp_path):
+        out = str(tmp_path / "refit.rpsm")
+        stable = [(1, 2, 3, 4, 5, 6, 7, 8)] * 200
+        import random
+
+        rng = random.Random(0)
+        shifted = [tuple(rng.sample(range(500, 2000), 8)) for _ in range(200)]
+        with ShardedIngest(
+            out, train_after=50, memtable_paths=100, window=40,
+            refit_ratio=0.8, refit_on_drift=True, base_id=100_000,
+        ) as ingest:
+            ingest.feed_many(stable)
+            ingest.feed_many(shifted)
+            assert ingest.refits >= 1
+        store = ShardedPathStore.open(out)
+        assert len(store.table_fingerprints) >= 2
+        with pytest.raises(StateError):
+            store.table  # no single shared table after a refit
+        # Every path still round-trips — shards are self-contained.
+        assert store.retrieve_all() == [tuple(p) for p in stable + shifted]
+        # Fan-out queries stay correct across heterogeneous tables.
+        expected = sorted(
+            i for i, p in enumerate(stable + shifted) if 1 in p
+        )
+        assert store.paths_containing(1) == expected
+        store.close()
+
+    def test_close_is_idempotent_and_seals_tail(self, tmp_path):
+        out = str(tmp_path / "tail.rpsm")
+        ingest = ShardedIngest(out, train_after=10, memtable_paths=1000, window=5)
+        ingest.feed_many(self._paths(37))  # never hits the seal threshold
+        assert ingest.close() == out
+        assert ingest.close() == out
+        with pytest.raises(StateError):
+            ingest.feed((1, 2))
+        store = ShardedPathStore.open(out)
+        assert len(store) == 37
+        store.close()
+
+    def test_empty_ingest_writes_valid_empty_manifest(self, tmp_path):
+        out = str(tmp_path / "none.rpsm")
+        ShardedIngest(out, train_after=10, memtable_paths=100).close()
+        store = ShardedPathStore.open(out)
+        assert len(store) == 0 and store.shard_count == 0
+        store.close()
+
+    def test_warmup_smaller_than_memtable_enforced(self, tmp_path):
+        with pytest.raises(InvalidInputError):
+            ShardedIngest(str(tmp_path / "x.rpsm"), train_after=500, memtable_paths=100)

@@ -133,3 +133,57 @@ class TestValidation:
         assert "warming" in repr(stream)
         stream.feed_many([(1, 2, 3)] * 5)
         assert "trained" in repr(stream)
+
+
+class TestDriftObservability:
+    """The drift watch publishes through the obs catalog (R004 names)."""
+
+    def _drift_stream(self):
+        return StreamingCompressor(
+            config=OFFSConfig(iterations=3, sample_exponent=0),
+            train_after=60,
+            window=40,
+            refit_ratio=0.8,
+            base_id=100_000,
+        )
+
+    def test_drift_ratio_gauge_tracks_property(self):
+        from repro.obs import catalog
+        from repro.obs.runtime import instrumented
+
+        with instrumented() as obs:
+            stream = self._drift_stream()
+            stream.feed_many([(1, 2, 3, 4, 5, 6, 7, 8)] * (60 + 40))
+            assert stream.drift_ratio is not None
+            gauge = obs.registry.gauge(catalog.STREAM_DRIFT_RATIO).value
+            assert gauge == pytest.approx(stream.drift_ratio)
+            # Stationary traffic compresses exactly as well as the warm-up.
+            assert gauge == pytest.approx(1.0)
+            assert obs.registry.counter(catalog.STREAM_DRIFTED).value == 0
+
+    def test_drifted_counter_counts_transitions_once(self):
+        import random
+
+        from repro.obs import catalog
+        from repro.obs.runtime import instrumented
+
+        with instrumented() as obs:
+            stream = self._drift_stream()
+            stream.feed_many([(1, 2, 3, 4, 5, 6, 7, 8)] * 60)
+            rng = random.Random(0)
+            for _ in range(80):
+                stream.feed(tuple(rng.sample(range(500, 2000), 8)))
+            assert stream.drifted
+            # One False->True transition, no matter how long it stays drifted.
+            assert obs.registry.counter(catalog.STREAM_DRIFTED).value == 1
+            assert obs.registry.gauge(catalog.STREAM_DRIFT_RATIO).value < 0.8
+
+    def test_uninstrumented_stream_still_tracks_drift(self):
+        import random
+
+        stream = self._drift_stream()
+        stream.feed_many([(1, 2, 3, 4, 5, 6, 7, 8)] * 60)
+        rng = random.Random(0)
+        for _ in range(40):
+            stream.feed(tuple(rng.sample(range(500, 2000), 8)))
+        assert stream.drifted and stream.drift_ratio is not None
