@@ -1,6 +1,6 @@
 # Convenience targets for the OFFS reproduction.
 
-.PHONY: install test lint bench bench-quick bench-smoke bench-serve bench-shard examples experiments clean
+.PHONY: install test lint lint-changed bench bench-quick bench-smoke bench-serve bench-shard examples experiments clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,12 +10,17 @@ test:
 
 # Dependency-free lint: byte-compile every tree (catches syntax errors),
 # import the public packages (catches broken imports / circulars), then run
-# the project's own static analyzer (OFFS invariants R001-R006; exit 1 on
+# the project's own static analyzer (OFFS invariants R001-R010; exit 1 on
 # any non-baselined finding -- see docs/static-analysis.md).
 lint:
 	python -m compileall -q src tests benchmarks examples
 	PYTHONPATH=src python -c "import repro, repro.obs, repro.cli, repro.bench.runner"
 	PYTHONPATH=src python -m repro.lint --format json
+
+# Fast pre-commit pass: only files changed vs HEAD (plus untracked);
+# falls back to a full scan outside a git checkout.
+lint-changed:
+	PYTHONPATH=src python -m repro.lint --changed --strict
 
 bench:
 	pytest benchmarks/ --benchmark-only

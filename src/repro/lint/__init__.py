@@ -6,8 +6,13 @@ type system cannot see: no nondeterminism in :mod:`repro.core`, every
 matcher backend registered everywhere it must appear, every ``compress_*``
 paired with a ``decompress_*``, every observability name drawn from
 :mod:`repro.obs.catalog`, every raised exception rooted in
-:mod:`repro.core.errors`.  This package checks those conventions statically
-over a shared parsed-module cache — dependency-free, stdlib ``ast`` only.
+:mod:`repro.core.errors` — and, cross-module, every handle that crosses a
+fork boundary protected by the fork-safety protocol, every acquisition
+released on all paths, every thread-shared attribute lock-guarded, and
+every ``dumps_*``/``loads_*`` pair in byte-layout agreement.  This package
+checks those conventions statically over a shared parsed-module cache and
+a shared cross-module :class:`~repro.lint.graph.ProjectGraph` —
+dependency-free, stdlib ``ast`` only.
 
 Run it as ``python -m repro.lint`` (see :mod:`repro.lint.__main__` for the
 CLI, exit codes and the JSON output schema) or programmatically::
@@ -22,6 +27,7 @@ documents each rule, its rationale, and how to add one.
 
 from repro.lint.baseline import Baseline, load_baseline, save_baseline
 from repro.lint.engine import Finding, LintInternalError, Project, Rule, run_rules
+from repro.lint.graph import ProjectGraph
 from repro.lint.rules import all_rules, rules_by_id
 
 __all__ = [
@@ -29,6 +35,7 @@ __all__ = [
     "Finding",
     "LintInternalError",
     "Project",
+    "ProjectGraph",
     "Rule",
     "all_rules",
     "load_baseline",

@@ -25,14 +25,21 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 import traceback
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.lint.baseline import DEFAULT_BASELINE, load_baseline, save_baseline
-from repro.lint.engine import SCHEMA_VERSION, LintInternalError, Project, run_rules
-from repro.lint.rules import all_rules, rules_by_id
+from repro.lint.engine import (
+    SCHEMA_VERSION,
+    LintInternalError,
+    Project,
+    run_rules,
+    unknown_pragmas,
+)
+from repro.lint.rules import all_rules, known_rule_ids, rules_by_id
 
 
 def _default_root() -> Path:
@@ -63,9 +70,27 @@ def make_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "gha"),
         default="text",
-        help="output format (json includes schema_version)",
+        help="output format (json includes schema_version; gha emits "
+        "GitHub Actions ::error annotations)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="report only files changed in git (diff against --base plus "
+        "untracked); falls back to a full scan outside a git checkout",
+    )
+    parser.add_argument(
+        "--base",
+        default=None,
+        help="git base ref for --changed (default: HEAD)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 2 on linter hygiene problems (e.g. pragmas naming "
+        "unknown rule ids) instead of just warning",
     )
     parser.add_argument(
         "--rules",
@@ -123,8 +148,24 @@ def _run(args: argparse.Namespace) -> int:
     if not (root / "src").is_dir():
         raise LintInternalError(f"{root} does not look like a checkout (no src/)")
 
+    paths = list(args.paths)
+    if args.changed:
+        changed = _changed_python_paths(root, args.base)
+        if changed is None:
+            print(
+                "repro.lint: --changed: not a usable git checkout; "
+                "falling back to a full scan",
+                file=sys.stderr,
+            )
+        else:
+            paths.extend(changed)
+            if not paths:
+                print("repro.lint: --changed: no changed python files")
+                return 0
+
     project = Project(root)
-    findings = run_rules(project, rules, paths=args.paths or None)
+    findings = run_rules(project, rules, paths=paths or None)
+    pragma_problems = unknown_pragmas(project, known_rule_ids())
 
     baseline_path = args.baseline or (root / DEFAULT_BASELINE)
     if args.write_baseline:
@@ -137,7 +178,9 @@ def _run(args: argparse.Namespace) -> int:
     else:
         baseline = load_baseline(baseline_path)
         new, suppressed = baseline.split(findings)
-        stale = baseline.stale(findings)
+        # A path filter hides findings the baseline still matches; stale
+        # detection is only meaningful against a full scan.
+        stale = baseline.stale(findings) if not paths else []
 
     if args.format == "json":
         payload = {
@@ -148,8 +191,26 @@ def _run(args: argparse.Namespace) -> int:
                 {"rule": rule, "path": path, "message": message}
                 for rule, path, message in stale
             ],
+            "unknown_pragmas": [
+                {"path": path, "line": line, "rule": rule_id}
+                for path, line, rule_id in pragma_problems
+            ],
         }
         print(json.dumps(payload, indent=2))
+    elif args.format == "gha":
+        for finding in new:
+            message = finding.message
+            if finding.hint:
+                message += f" (hint: {finding.hint})"
+            print(
+                f"::error file={finding.path},line={finding.line},"
+                f"title=repro.lint {finding.rule}::{_gha_escape(message)}"
+            )
+        for path, line, rule_id in pragma_problems:
+            print(
+                f"::warning file={path},line={line},title=repro.lint::"
+                + _gha_escape(f"pragma names unknown rule {rule_id}")
+            )
     else:
         for finding in new:
             print(finding.render())
@@ -162,7 +223,42 @@ def _run(args: argparse.Namespace) -> int:
         for rule, path, message in stale:
             print(f"  stale: {rule} {path}: {message}")
 
+    for path, line, rule_id in pragma_problems:
+        print(
+            f"repro.lint: warning: {path}:{line}: pragma names unknown "
+            f"rule {rule_id} (see --list-rules); it suppresses nothing",
+            file=sys.stderr,
+        )
+    if pragma_problems and args.strict:
+        return 2
     return 1 if new else 0
+
+
+def _gha_escape(text: str) -> str:
+    """GitHub Actions workflow-command escaping for message data."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _changed_python_paths(root: Path, base: Optional[str]) -> Optional[List[str]]:
+    """Repo-relative ``.py`` files changed vs *base* (default HEAD) plus
+    untracked ones, or ``None`` when git is unavailable — the caller falls
+    back to a full scan so the flag is safe in exported tarballs."""
+    commands = [
+        ["git", "diff", "--name-only", base or "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ]
+    changed: List[str] = []
+    for command in commands:
+        try:
+            result = subprocess.run(
+                command, cwd=root, capture_output=True, text=True, timeout=30
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        if result.returncode != 0:
+            return None
+        changed.extend(line.strip() for line in result.stdout.splitlines())
+    return sorted({path for path in changed if path.endswith(".py")})
 
 
 if __name__ == "__main__":

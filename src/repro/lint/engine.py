@@ -5,7 +5,8 @@ and lazily parses the repository's Python sources exactly once (rules share
 the :class:`ParsedModule` cache, so six rules over ~60 modules still mean
 ~60 ``ast.parse`` calls, not 360).  Rules subclass :class:`Rule` and yield
 :class:`Finding` objects; :func:`run_rules` drives them, sorts the output,
-and drops findings suppressed by an inline ``# lint: ignore[RXXX]`` pragma.
+and drops findings suppressed by an inline ``lint: ignore[RXXX]`` pragma
+comment.
 
 Nothing here imports outside the stdlib — the linter must run in a bare
 checkout with no third-party packages installed.
@@ -18,7 +19,10 @@ import fnmatch
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # circular at runtime: graph builds on top of the engine
+    from repro.lint.graph import ProjectGraph
 
 #: Bumped when the JSON output / baseline format changes incompatibly.
 SCHEMA_VERSION = 1
@@ -127,6 +131,7 @@ class Project:
         self.root = Path(root).resolve()
         self._cache: Dict[str, ParsedModule] = {}
         self._text_cache: Dict[str, Optional[str]] = {}
+        self._graphs: Dict[str, "ProjectGraph"] = {}
 
     # -- file access -----------------------------------------------------------
 
@@ -177,6 +182,19 @@ class Project:
     def modules_under(self, prefix: str) -> Iterator[ParsedModule]:
         """Parsed modules under a directory prefix like ``src/repro/core``."""
         yield from self.iter_modules(prefix.rstrip("/") + "/**/*.py")
+
+    # -- cross-module index ----------------------------------------------------
+
+    def graph(self, scope: str = "src/repro") -> "ProjectGraph":
+        """The cross-module :class:`~repro.lint.graph.ProjectGraph` over
+        *scope*, built once and shared across rules exactly like the
+        :class:`ParsedModule` cache: four data-flow rules over ~90 modules
+        still mean one import-graph/class-index construction, not four."""
+        from repro.lint.graph import ProjectGraph
+
+        if scope not in self._graphs:
+            self._graphs[scope] = ProjectGraph(self, scope)
+        return self._graphs[scope]
 
 
 class Rule:
@@ -237,6 +255,27 @@ def run_rules(
         wanted = [p.replace("\\", "/") for p in paths]
         findings = [f for f in findings if _path_selected(f.path, wanted)]
     return sorted(findings)
+
+
+def unknown_pragmas(
+    project: Project, known_ids: Iterable[str]
+) -> List[Tuple[str, int, str]]:
+    """``(relpath, line, rule_id)`` for every pragma naming a rule that
+    does not exist — a typo'd ``lint: ignore[R0007]`` otherwise suppresses
+    nothing and *looks* like it suppresses something.
+
+    Only modules already parsed (i.e. analyzed this run) are inspected, so
+    call this after :func:`run_rules`.
+    """
+    known = set(known_ids)
+    problems: List[Tuple[str, int, str]] = []
+    for relpath in sorted(project._cache):
+        module = project._cache[relpath]
+        for line in sorted(module.pragmas):
+            for rule_id in sorted(module.pragmas[line]):
+                if rule_id != "*" and rule_id not in known:
+                    problems.append((relpath, line, rule_id))
+    return problems
 
 
 def _path_selected(path: str, patterns: Iterable[str]) -> bool:

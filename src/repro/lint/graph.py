@@ -1,0 +1,252 @@
+"""Cross-module project model shared by the data-flow rules (R007-R010).
+
+Where the engine's :class:`~repro.lint.engine.ParsedModule` cache answers
+"what does this file parse to", the :class:`ProjectGraph` answers the
+cross-module questions the concurrency and format rules need:
+
+* **import graph** — which project modules does each module import, with
+  relative imports (``from . import errors``) resolved to absolute dotted
+  names;
+* **class/attribute index** — every class definition with its methods,
+  ``self.X = ...`` assignments, and ``self.X: T`` annotations, keyed by
+  fully-dotted name (``repro.core.mapped.MappedPathStore``);
+* **call-site resolution** — a best-effort mapping from the dotted name at
+  a call site, through the module's import aliases, to the project entity
+  (function / class / module-level constant) it denotes.
+
+The graph is deliberately *syntactic*: it never imports analyzed code, so
+it stays safe to run over broken or side-effectful modules, and it stays
+dependency-free like the rest of ``repro.lint``.  One graph is built per
+scope and cached on the :class:`~repro.lint.engine.Project`
+(``project.graph()``), so four rules share a single construction pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.engine import ParsedModule, Project, dotted_name
+
+FunctionNode = ast.FunctionDef  # async defs are indexed too; see _index_module
+
+
+class ClassInfo:
+    """One class definition plus the indexes rules keep asking for."""
+
+    def __init__(self, dotted: str, module: ParsedModule, node: ast.ClassDef) -> None:
+        self.dotted = dotted
+        self.module = module
+        self.node = node
+        #: method / property name -> def node (class-body level only).
+        self.methods: Dict[str, ast.AST] = {}
+        #: names bound at class-body level (methods, class attrs, ...).
+        self.members: Set[str] = set()
+        #: ``self.X = value`` sites anywhere in the class: (attr, value, line).
+        self.attr_assignments: List[Tuple[str, ast.expr, int]] = []
+        #: ``self.X: T [= ...]`` sites: (attr, annotation, line).
+        self.attr_annotations: List[Tuple[str, ast.expr, int]] = []
+        self.bases: List[str] = [
+            name for name in (dotted_name(base) for base in node.bases) if name
+        ]
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def _index(self) -> None:
+        for stmt in self.node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.methods[stmt.name] = stmt
+                self.members.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.members.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                self.members.add(stmt.target.id)
+        for node in ast.walk(self.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if _is_self_attr(target):
+                    assert isinstance(target, ast.Attribute)
+                    self.attr_assignments.append(
+                        (target.attr, node.value, node.lineno)
+                    )
+            elif isinstance(node, ast.AnnAssign) and _is_self_attr(node.target):
+                target = node.target
+                assert isinstance(target, ast.Attribute)
+                self.attr_annotations.append(
+                    (target.attr, node.annotation, node.lineno)
+                )
+                if node.value is not None:
+                    self.attr_assignments.append(
+                        (target.attr, node.value, node.lineno)
+                    )
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+class ProjectGraph:
+    """Import graph + class index + call resolution over one scope."""
+
+    def __init__(self, project: Project, scope: str = "src/repro") -> None:
+        self.project = project
+        self.scope = scope
+        #: dotted module name -> parsed module.
+        self.modules: Dict[str, ParsedModule] = {}
+        #: module -> local name -> absolute dotted origin.
+        self.aliases: Dict[str, Dict[str, str]] = {}
+        #: module -> set of project modules it imports (absolute dotted).
+        self.imports: Dict[str, Set[str]] = {}
+        #: fully-dotted class name -> info.
+        self.classes: Dict[str, ClassInfo] = {}
+        #: fully-dotted function name -> (module, def node); module level only.
+        self.functions: Dict[str, Tuple[ParsedModule, ast.AST]] = {}
+        #: fully-dotted constant name -> (module, value node); simple
+        #: module-level ``NAME = <expr>`` assignments only.
+        self.constants: Dict[str, Tuple[ParsedModule, ast.expr]] = {}
+        for module in project.modules_under(scope):
+            self._index_module(module)
+        for dotted in self.modules:
+            self.imports[dotted] = {
+                target
+                for origin in self.aliases[dotted].values()
+                for target in (self.module_of(origin),)
+                if target is not None and target != dotted
+            }
+
+    # -- construction ----------------------------------------------------------
+
+    def _index_module(self, module: ParsedModule) -> None:
+        dotted = module.dotted
+        self.modules[dotted] = module
+        is_package = module.relpath.endswith("__init__.py")
+        package = dotted.split(".") if is_package else dotted.split(".")[:-1]
+        self.aliases[dotted] = _module_aliases(module.tree, package)
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                info = ClassInfo(f"{dotted}.{stmt.name}", module, stmt)
+                info._index()
+                self.classes[info.dotted] = info
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[f"{dotted}.{stmt.name}"] = (module, stmt)
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    self.constants[f"{dotted}.{target.id}"] = (module, stmt.value)
+            elif (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.value is not None
+            ):
+                self.constants[f"{dotted}.{stmt.target.id}"] = (module, stmt.value)
+
+    # -- resolution ------------------------------------------------------------
+
+    def module_of(self, dotted: str) -> Optional[str]:
+        """The longest prefix of *dotted* that names a project module."""
+        parts = dotted.split(".")
+        for i in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:i])
+            if candidate in self.modules:
+                return candidate
+        return None
+
+    def resolve(self, module_dotted: str, name: str) -> str:
+        """A name as written in *module_dotted* -> absolute dotted origin.
+
+        Follows the module's import aliases for the first component and
+        falls back to same-module definitions; names that resolve to
+        nothing known come back unchanged (callers treat the result as a
+        plain stdlib/builtin dotted name).
+        """
+        root, _, rest = name.partition(".")
+        origin = self.aliases.get(module_dotted, {}).get(root)
+        if origin is None:
+            local = f"{module_dotted}.{root}"
+            if (
+                local in self.functions
+                or local in self.classes
+                or local in self.constants
+            ):
+                origin = local
+            else:
+                return name
+        return f"{origin}.{rest}" if rest else origin
+
+    def resolve_call(self, module: ParsedModule, call: ast.Call) -> Optional[str]:
+        """Absolute dotted target of a call site, or ``None`` for dynamic
+        callees (subscripts, calls-of-calls, ...)."""
+        name = dotted_name(call.func)
+        if name is None:
+            return None
+        return self.resolve(module.dotted, name)
+
+    # -- constant value lookups ------------------------------------------------
+
+    def bytes_constant(self, module_dotted: str, name: str) -> Optional[bytes]:
+        """The value of *name* when it resolves to a module-level ``bytes``
+        literal constant (e.g. a format magic)."""
+        entry = self.constants.get(self.resolve(module_dotted, name))
+        if entry is None:
+            return None
+        _, value = entry
+        if isinstance(value, ast.Constant) and isinstance(value.value, bytes):
+            return value.value
+        return None
+
+    def struct_format(self, module_dotted: str, name: str) -> Optional[str]:
+        """The format string when *name* resolves to a module-level
+        ``struct.Struct("...")`` constant."""
+        entry = self.constants.get(self.resolve(module_dotted, name))
+        if entry is None:
+            return None
+        owner, value = entry
+        if not isinstance(value, ast.Call) or not value.args:
+            return None
+        callee = dotted_name(value.func)
+        if callee is None or self.resolve(owner.dotted, callee) != "struct.Struct":
+            return None
+        fmt = value.args[0]
+        if isinstance(fmt, ast.Constant) and isinstance(fmt.value, str):
+            return fmt.value
+        return None
+
+
+def _module_aliases(tree: ast.Module, package: List[str]) -> Dict[str, str]:
+    """Local name -> *absolute* dotted origin, resolving relative imports
+    against *package* (the module's parent package parts).
+
+    Unlike :func:`repro.lint.engine.import_aliases`, which preserves the
+    leading dots, this resolver is what cross-module lookups need:
+    ``from . import serialize`` inside ``repro.core.mapped`` maps to
+    ``repro.core.serialize``.  Function-level imports are included — the
+    codebase defers several imports into function bodies to break cycles.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                aliases[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = package[: len(package) - (node.level - 1)]
+                if node.module:
+                    base_parts = base_parts + node.module.split(".")
+                base = ".".join(base_parts)
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{base}.{alias.name}" if base else alias.name
+    return aliases

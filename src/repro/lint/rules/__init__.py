@@ -9,8 +9,12 @@ from repro.lint.rules.codec_symmetry import CodecSymmetryRule
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.doc_drift import DocDriftRule
 from repro.lint.rules.error_hygiene import ErrorHygieneRule
+from repro.lint.rules.fork_safety import ForkSafetyRule
+from repro.lint.rules.format_symmetry import FormatSymmetryRule
 from repro.lint.rules.obs_discipline import ObsDisciplineRule
 from repro.lint.rules.registry_sync import RegistrySyncRule
+from repro.lint.rules.resource_lifecycle import ResourceLifecycleRule
+from repro.lint.rules.thread_discipline import ThreadDisciplineRule
 
 _ALL = (
     DeterminismRule,
@@ -19,7 +23,16 @@ _ALL = (
     ObsDisciplineRule,
     ErrorHygieneRule,
     DocDriftRule,
+    ForkSafetyRule,
+    ResourceLifecycleRule,
+    ThreadDisciplineRule,
+    FormatSymmetryRule,
 )
+
+
+def known_rule_ids() -> frozenset:
+    """Ids of every registered rule — the vocabulary valid in pragmas."""
+    return frozenset(cls.id for cls in _ALL)
 
 
 def all_rules() -> List[Rule]:

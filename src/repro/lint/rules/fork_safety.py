@@ -1,0 +1,391 @@
+"""R007 — fork safety: OS handles must not cross a fork boundary raw.
+
+The serving and parallel-build layers fork: ``repro.core.parallel`` uses
+fork-start pools with copy-on-write table inheritance, and
+``repro.serve`` pre-forks HTTP workers.  File descriptors, sockets and
+``mmap`` views are process-local — a child that inherits one shares
+kernel state (file offsets, socket buffers) with the parent, which is how
+silent corruption happens.  The codebase's answer is the fork-safety
+protocol implemented by ``MappedPathStore``/``ShardedPathStore``:
+
+* ``owner_pid`` — records the opening process;
+* ``reopen()`` — a fresh handle from the stored *path*;
+* ``process_local()`` — returns ``self`` or a reopened copy after a fork;
+* path-based ``__getstate__`` — pickling ships the path, never the handle.
+
+This rule enforces the protocol cross-module via the
+:class:`~repro.lint.graph.ProjectGraph`:
+
+* a class that implements only part of the protocol is flagged (half a
+  protocol silently does nothing);
+* an instance of a handle-holding class that crosses a process boundary
+  (``Process(...)`` args, ``pool.map``-style submission, ``pickle.dumps``)
+  must implement all four members;
+* a raw handle local, or a worker closure capturing one, crossing a
+  boundary is always flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.lint.engine import Finding, ParsedModule, Project, Rule, dotted_name
+from repro.lint.graph import ClassInfo, ProjectGraph
+
+#: dotted acquisition call -> human-readable handle kind.
+HANDLE_FACTORIES: Dict[str, str] = {
+    "open": "file",
+    "io.open": "file",
+    "os.fdopen": "file",
+    "gzip.open": "file",
+    "tempfile.NamedTemporaryFile": "temp-file",
+    "tempfile.TemporaryFile": "temp-file",
+    "mmap.mmap": "mmap",
+    "socket.socket": "socket",
+    "socket.create_connection": "socket",
+    "socket.socketpair": "socket",
+}
+
+#: annotation dotted names that mark an attribute as handle-typed.
+HANDLE_ANNOTATIONS: Dict[str, str] = {
+    "mmap.mmap": "mmap",
+    "socket.socket": "socket",
+    "io.BufferedReader": "file",
+    "io.BufferedWriter": "file",
+    "BinaryIO": "file",
+}
+
+#: the four members every fork-crossing handle owner must define.
+PROTOCOL = ("owner_pid", "reopen", "process_local", "__getstate__")
+
+_POOL_SUBMIT = {"map", "imap", "imap_unordered", "starmap", "apply", "apply_async"}
+
+_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class _Env:
+    """Per-function locals classified by what they were assigned from."""
+
+    def __init__(self) -> None:
+        self.handles: Dict[str, str] = {}  # var -> handle kind
+        self.instances: Dict[str, str] = {}  # var -> project class dotted
+        self.contexts: Dict[str, str] = {}  # var -> "mp-context" / "pool"
+        self.nested: Dict[str, ast.AST] = {}  # var -> nested def node
+
+
+class ForkSafetyRule(Rule):
+    id = "R007"
+    title = "handles crossing a fork boundary use the fork-safety protocol"
+
+    scope = "src/repro"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph = project.graph(self.scope)
+        yield from self._check_protocol_completeness(graph)
+        for dotted in sorted(graph.modules):
+            module = graph.modules[dotted]
+            if module.relpath.startswith("src/repro/lint/"):
+                continue
+            for func in _all_functions(module.tree):
+                yield from self._check_function(graph, module, func)
+
+    # -- protocol completeness -------------------------------------------------
+
+    def _check_protocol_completeness(
+        self, graph: ProjectGraph
+    ) -> Iterator[Finding]:
+        for dotted in sorted(graph.classes):
+            info = graph.classes[dotted]
+            if info.module.relpath.startswith("src/repro/lint/"):
+                continue
+            implemented = [m for m in PROTOCOL if m in info.members]
+            if len(implemented) in (0, len(PROTOCOL)):
+                continue
+            # A lone __getstate__ on a handle-free class is ordinary pickle
+            # customization, not a botched protocol attempt.
+            if len(implemented) < 2 and not _handle_attributes(graph, info):
+                continue
+            missing = [m for m in PROTOCOL if m not in info.members]
+            yield self.finding(
+                info.module,
+                info.node.lineno,
+                f"class {info.name} implements only "
+                f"{len(implemented)}/{len(PROTOCOL)} of the fork-safety "
+                f"protocol (missing: {', '.join(missing)})",
+                hint="a partial protocol silently does nothing after a "
+                "fork; implement owner_pid, reopen(), process_local() and "
+                "a path-based __getstate__ together (see MappedPathStore)",
+            )
+
+    # -- per-function boundary analysis ----------------------------------------
+
+    def _check_function(
+        self, graph: ProjectGraph, module: ParsedModule, func: ast.AST
+    ) -> Iterator[Finding]:
+        env = _scan_locals(graph, module, func)
+        for node in _walk_own(getattr(func, "body", [])):
+            if not isinstance(node, ast.Call):
+                continue
+            boundary = _boundary_kind(graph, module, env, node)
+            if boundary is None:
+                continue
+            for arg in _boundary_payload(node):
+                yield from self._check_payload(
+                    graph, module, env, node, boundary, arg
+                )
+
+    def _check_payload(
+        self,
+        graph: ProjectGraph,
+        module: ParsedModule,
+        env: _Env,
+        call: ast.Call,
+        boundary: str,
+        arg: ast.expr,
+    ) -> Iterator[Finding]:
+        if isinstance(arg, (ast.Tuple, ast.List)):
+            for element in arg.elts:
+                yield from self._check_payload(
+                    graph, module, env, call, boundary, element
+                )
+            return
+        if isinstance(arg, ast.Lambda) or (
+            isinstance(arg, ast.Name) and arg.id in env.nested
+        ):
+            target = env.nested[arg.id] if isinstance(arg, ast.Name) else arg
+            for captured, kind in sorted(_captured_handles(target, env).items()):
+                yield self.finding(
+                    module,
+                    call.lineno,
+                    f"worker closure passed to {boundary} captures raw "
+                    f"{kind} handle '{captured}'",
+                    hint="fork workers must open their own handles: pass "
+                    "a path/key and reopen inside the worker",
+                )
+            return
+        if not isinstance(arg, ast.Name):
+            return
+        if arg.id in env.handles:
+            yield self.finding(
+                module,
+                call.lineno,
+                f"raw {env.handles[arg.id]} handle '{arg.id}' crosses a "
+                f"process boundary via {boundary}",
+                hint="children share kernel state with the parent through "
+                "inherited descriptors; ship a path and reopen, or adopt "
+                "the fork-safety protocol",
+            )
+            return
+        cls = env.instances.get(arg.id)
+        info = graph.classes.get(cls) if cls is not None else None
+        if info is None:
+            return
+        handle_attrs = _handle_attributes(graph, info)
+        if not handle_attrs:
+            return
+        missing = [m for m in PROTOCOL if m not in info.members]
+        if not missing:
+            return
+        attr, kind = sorted(handle_attrs.items())[0]
+        yield self.finding(
+            module,
+            call.lineno,
+            f"instance of {info.name} (holds {kind} handle attribute "
+            f"'{attr}') crosses a process boundary via {boundary} but "
+            f"{info.name} lacks the fork-safety protocol "
+            f"(missing: {', '.join(missing)})",
+            hint="implement owner_pid, reopen(), process_local() and a "
+            "path-based __getstate__ so children reopen instead of "
+            "sharing the parent's handle",
+        )
+
+
+# -- helpers -------------------------------------------------------------------
+
+
+def _all_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    """Every def in the module: module level, methods, and nested defs.
+
+    Nested defs are analyzed in their own right *and* as closures of their
+    parent (via ``_captured_handles``); each gets its own local env.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, _DEFS):
+            yield node
+
+
+def _walk_own(body: List[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs/lambdas.
+
+    Nested def statements themselves *are* yielded (so callers can index
+    them); only their bodies are skipped — a nested function's internals
+    belong to its own analysis pass.
+    """
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _DEFS) or isinstance(node, ast.Lambda):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _scan_locals(graph: ProjectGraph, module: ParsedModule, func: ast.AST) -> _Env:
+    env = _Env()
+    for stmt in _walk_own(getattr(func, "body", [])):
+        if isinstance(stmt, _DEFS):
+            env.nested[stmt.name] = stmt
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if isinstance(item.optional_vars, ast.Name) and isinstance(
+                    item.context_expr, ast.Call
+                ):
+                    _classify(
+                        graph, module, env, item.optional_vars.id, item.context_expr
+                    )
+        elif (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+        ):
+            target = stmt.targets[0]
+            assert isinstance(target, ast.Name)
+            _classify(graph, module, env, target.id, stmt.value)
+    return env
+
+
+def _classify(
+    graph: ProjectGraph, module: ParsedModule, env: _Env, var: str, call: ast.Call
+) -> None:
+    resolved = graph.resolve_call(module, call)
+    if resolved is None:
+        return
+    head = resolved.rsplit(".", 1)[0] if "." in resolved else resolved
+    if resolved in HANDLE_FACTORIES:
+        env.handles[var] = HANDLE_FACTORIES[resolved]
+    elif resolved in graph.classes:
+        env.instances[var] = resolved
+    elif head in graph.classes:
+        # alternate constructors: Store.open(...), Store.from_path(...)
+        env.instances[var] = head
+    elif resolved == "multiprocessing.get_context":
+        env.contexts[var] = "mp-context"
+    elif resolved.endswith(".Pool"):
+        env.contexts[var] = "pool"
+    else:
+        name = dotted_name(call.func)
+        if name and "." in name:
+            root, _, tail = name.partition(".")
+            if env.contexts.get(root) == "mp-context" and tail == "Pool":
+                env.contexts[var] = "pool"
+
+
+def _boundary_kind(
+    graph: ProjectGraph, module: ParsedModule, env: _Env, call: ast.Call
+) -> Optional[str]:
+    """``"Process(...)"`` / ``"pool.map(...)"`` / ``"pickle.dumps(...)"``
+    when *call* hands its payload to another process, else ``None``."""
+    resolved = graph.resolve_call(module, call)
+    if resolved in ("pickle.dumps", "pickle.dump"):
+        return "pickle.dumps(...)"
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    root = name.partition(".")[0]
+    last = name.rsplit(".", 1)[-1]
+    if last == "Process":
+        if resolved is not None and resolved.startswith("multiprocessing"):
+            return "Process(...)"
+        if env.contexts.get(root) == "mp-context":
+            return "Process(...)"
+    if last in _POOL_SUBMIT and "." in name:
+        receiver = name.rsplit(".", 2)[-2]
+        if env.contexts.get(receiver) == "pool" or receiver == "pool":
+            return f"pool.{last}(...)"
+    return None
+
+
+def _boundary_payload(call: ast.Call) -> List[ast.expr]:
+    """The expressions shipped to the other process: positional args plus
+    ``target=``/``args=`` keywords."""
+    payload: List[ast.expr] = list(call.args)
+    for keyword in call.keywords:
+        if keyword.arg in ("target", "args", "func", "iterable"):
+            payload.append(keyword.value)
+    return payload
+
+
+def _captured_handles(target: ast.AST, env: _Env) -> Dict[str, str]:
+    """Free variables of a lambda/nested def that are handle locals of the
+    enclosing function."""
+    bound = set()
+    args = getattr(target, "args", None)
+    if args is not None:
+        for group in (args.posonlyargs, args.args, args.kwonlyargs):
+            bound.update(a.arg for a in group)
+        for special in (args.vararg, args.kwarg):
+            if special is not None:
+                bound.add(special.arg)
+    raw_body = getattr(target, "body", [])
+    elements = raw_body if isinstance(raw_body, list) else [raw_body]
+    captured: Dict[str, str] = {}
+    for element in elements:
+        for node in ast.walk(element):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id in env.handles and node.id not in bound:
+                    captured[node.id] = env.handles[node.id]
+    return captured
+
+
+def _handle_attributes(graph: ProjectGraph, info: ClassInfo) -> Dict[str, str]:
+    """Attr name -> handle kind, for attributes assigned from a handle
+    factory (directly or via a one-step local) or annotated handle-typed."""
+    attrs: Dict[str, str] = {}
+    module_dotted = info.module.dotted
+    # one-step local flow inside each method: v = open(...); self.x = v
+    for method in info.methods.values():
+        local_handles: Dict[str, str] = {}
+        for node in _walk_own(getattr(method, "body", [])):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                callee = dotted_name(node.value.func)
+                if callee is not None:
+                    resolved = graph.resolve(module_dotted, callee)
+                    if resolved in HANDLE_FACTORIES:
+                        target = node.targets[0]
+                        assert isinstance(target, ast.Name)
+                        local_handles[target.id] = HANDLE_FACTORIES[resolved]
+        for attr, value, _line in info.attr_assignments:
+            if isinstance(value, ast.Name) and value.id in local_handles:
+                attrs[attr] = local_handles[value.id]
+    for attr, value, _line in info.attr_assignments:
+        if isinstance(value, ast.Call):
+            callee = dotted_name(value.func)
+            if callee is not None:
+                resolved = graph.resolve(module_dotted, callee)
+                if resolved in HANDLE_FACTORIES:
+                    attrs[attr] = HANDLE_FACTORIES[resolved]
+    for attr, annotation, _line in info.attr_annotations:
+        kind = _annotated_handle_kind(graph, module_dotted, annotation)
+        if kind is not None:
+            attrs[attr] = kind
+    return attrs
+
+
+def _annotated_handle_kind(
+    graph: ProjectGraph, module_dotted: str, annotation: ast.expr
+) -> Optional[str]:
+    for node in ast.walk(annotation):
+        name = dotted_name(node)
+        if name is None:
+            continue
+        resolved = graph.resolve(module_dotted, name)
+        if resolved in HANDLE_ANNOTATIONS:
+            return HANDLE_ANNOTATIONS[resolved]
+    return None

@@ -1,0 +1,258 @@
+"""R010 — format-invariant symmetry: writers and readers agree on bytes.
+
+R003 checks that every ``dumps_*`` has a ``loads_*`` **by name**; this
+rule checks that the pair agrees **by byte layout**.  For each forward /
+inverse pair in a module it extracts *format facts* transitively over the
+project call graph (a reader that delegates to ``MappedPathStore`` pulls
+in the whole class's facts — the RPC2 meta CRC is verified inside the
+lazy ``table`` property, not in ``loads_store_v2`` itself):
+
+* **struct layouts** — format strings from ``struct.pack``/``unpack``
+  (including ``struct.Struct`` module constants and
+  ``memoryview.cast("Q")``), normalized to sets of field type characters;
+* **magic/constant bytes** — ``bytes`` literals referenced directly or
+  through module-level constants, resolved across imports;
+* **CRC coverage** — the number of ``zlib.crc32`` call sites.
+
+The checks are one-directional (writer -> reader) to stay low-noise:
+every field type the writer packs must be unpacked somewhere in the
+reader's closure, every magic the writer emits must be referenced by the
+reader, and the reader must compute at least as many CRCs as the writer.
+Pairs with no byte-layout facts at all (plain codec functions) are
+skipped — R003 already owns their naming symmetry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.lint.engine import Finding, ParsedModule, Project, Rule, dotted_name
+from repro.lint.graph import ProjectGraph
+from repro.lint.rules.codec_symmetry import _expected_inverse
+
+_PACK_CALLS = {"struct.pack", "struct.pack_into"}
+_UNPACK_CALLS = {"struct.unpack", "struct.unpack_from", "struct.iter_unpack"}
+_CRC_CALLS = {"zlib.crc32", "binascii.crc32"}
+
+_PACK_METHODS = {"pack", "pack_into"}
+_UNPACK_METHODS = {"unpack", "unpack_from", "iter_unpack"}
+
+
+class _Facts:
+    """Byte-layout facts of one function/class, transitively collected."""
+
+    def __init__(self) -> None:
+        self.pack_chars: Set[str] = set()
+        self.unpack_chars: Set[str] = set()
+        self.bytes_refs: Set[bytes] = set()
+        self.crc_sites: int = 0
+
+    def merge(self, other: "_Facts") -> None:
+        self.pack_chars |= other.pack_chars
+        self.unpack_chars |= other.unpack_chars
+        self.bytes_refs |= other.bytes_refs
+        self.crc_sites += other.crc_sites
+
+    @property
+    def empty(self) -> bool:
+        return not (self.pack_chars or self.bytes_refs or self.crc_sites)
+
+
+def _format_chars(fmt: str) -> Set[str]:
+    """Field type characters of a struct format: byte-order prefixes,
+    repeat counts and pad bytes (``x``) stripped."""
+    return {c for c in fmt if c.isalpha() and c != "x"}
+
+
+class FormatSymmetryRule(Rule):
+    id = "R010"
+    title = "dumps/loads pairs agree on magic, CRC coverage and struct layout"
+
+    scope = "src/repro"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph = project.graph(self.scope)
+        memo: Dict[str, _Facts] = {}
+        for dotted in sorted(graph.modules):
+            module = graph.modules[dotted]
+            if module.relpath.startswith("src/repro/lint/"):
+                continue
+            yield from self._check_module(graph, module, memo)
+
+    def _check_module(
+        self, graph: ProjectGraph, module: ParsedModule, memo: Dict[str, _Facts]
+    ) -> Iterator[Finding]:
+        functions: Dict[str, ast.AST] = {}
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions.setdefault(stmt.name, stmt)
+        for name in sorted(functions):
+            inverse = _expected_inverse(name)
+            if not inverse or inverse not in functions:
+                continue
+            forward = _entity_facts(graph, f"{module.dotted}.{name}", memo)
+            if forward is None or forward.empty:
+                continue
+            backward = _entity_facts(graph, f"{module.dotted}.{inverse}", memo)
+            if backward is None:
+                continue
+            lineno = functions[name].lineno
+            missing_chars = forward.pack_chars - backward.unpack_chars
+            if missing_chars:
+                yield self.finding(
+                    module,
+                    lineno,
+                    f"{name}() packs struct field type(s) "
+                    f"{''.join(sorted(missing_chars))!r} that {inverse}() "
+                    "never unpacks",
+                    hint="writer and reader must agree on the byte "
+                    "layout; update the unpack format (or the reader's "
+                    "memoryview cast) to cover every packed field",
+                )
+            for magic in sorted(forward.bytes_refs - backward.bytes_refs):
+                yield self.finding(
+                    module,
+                    lineno,
+                    f"{name}() writes constant bytes {magic!r} that "
+                    f"{inverse}() never references",
+                    hint="a reader that does not check the magic will "
+                    "happily parse garbage; verify it (and reject with "
+                    "CorruptDataError) on the load path",
+                )
+            if forward.crc_sites > backward.crc_sites:
+                yield self.finding(
+                    module,
+                    lineno,
+                    f"{name}() computes {forward.crc_sites} CRC32 "
+                    f"checksum(s) but {inverse}() checks only "
+                    f"{backward.crc_sites}",
+                    hint="every checksum the writer emits must be "
+                    "recomputed and compared by the reader, or "
+                    "corruption passes silently",
+                )
+
+
+# -- transitive fact extraction ------------------------------------------------
+
+
+def _entity_facts(
+    graph: ProjectGraph, dotted: str, memo: Dict[str, _Facts]
+) -> Optional[_Facts]:
+    """Facts of a fully-dotted project function or class, memoized and
+    cycle-safe (in-progress entities contribute nothing extra)."""
+    if dotted in memo:
+        return memo[dotted]
+    if dotted in graph.functions:
+        owner, node = graph.functions[dotted]
+        memo[dotted] = facts = _Facts()  # pre-seed: cycle guard
+        facts.merge(_body_facts(graph, owner, node, memo))
+        return facts
+    if dotted in graph.classes:
+        info = graph.classes[dotted]
+        memo[dotted] = facts = _Facts()
+        for method in info.methods.values():
+            facts.merge(_body_facts(graph, info.module, method, memo))
+        return facts
+    return None
+
+
+def _body_facts(
+    graph: ProjectGraph,
+    module: ParsedModule,
+    func: ast.AST,
+    memo: Dict[str, _Facts],
+) -> _Facts:
+    facts = _Facts()
+    for element in getattr(func, "body", []):
+        for node in ast.walk(element):
+            if isinstance(node, ast.Constant) and isinstance(node.value, bytes):
+                if node.value:
+                    facts.bytes_refs.add(node.value)
+            elif isinstance(node, (ast.Name, ast.Attribute)):
+                name = dotted_name(node)
+                if name is not None:
+                    value = graph.bytes_constant(module.dotted, name)
+                    if value:
+                        facts.bytes_refs.add(value)
+            elif isinstance(node, ast.Call):
+                _call_facts(graph, module, node, facts, memo)
+    return facts
+
+
+def _call_facts(
+    graph: ProjectGraph,
+    module: ParsedModule,
+    call: ast.Call,
+    facts: _Facts,
+    memo: Dict[str, _Facts],
+) -> None:
+    name = dotted_name(call.func)
+    resolved = graph.resolve(module.dotted, name) if name else None
+
+    if resolved in _CRC_CALLS:
+        facts.crc_sites += 1
+        return
+    if resolved in _PACK_CALLS or resolved in _UNPACK_CALLS:
+        fmt = _format_argument(graph, module, call)
+        if fmt is not None:
+            chars = _format_chars(fmt)
+            if resolved in _PACK_CALLS:
+                facts.pack_chars |= chars
+            else:
+                facts.unpack_chars |= chars
+        return
+
+    # STRUCT_CONST.pack(...) / .unpack_from(...) on a struct.Struct constant
+    if isinstance(call.func, ast.Attribute):
+        method = call.func.attr
+        if method in _PACK_METHODS | _UNPACK_METHODS:
+            owner = dotted_name(call.func.value)
+            if owner is not None:
+                fmt = graph.struct_format(module.dotted, owner)
+                if fmt is not None:
+                    chars = _format_chars(fmt)
+                    if method in _PACK_METHODS:
+                        facts.pack_chars |= chars
+                    else:
+                        facts.unpack_chars |= chars
+                    return
+        if method == "cast" and call.args:
+            cast_fmt = call.args[0]
+            if isinstance(cast_fmt, ast.Constant) and isinstance(
+                cast_fmt.value, str
+            ):
+                facts.unpack_chars |= _format_chars(cast_fmt.value)
+                return
+
+    # project-internal call: fold in the callee's facts transitively
+    if resolved is not None:
+        target = resolved
+        if target not in graph.functions and target not in graph.classes:
+            head = target.rsplit(".", 1)[0] if "." in target else target
+            target = head if head in graph.classes else target
+        callee_facts = _entity_facts(graph, target, memo)
+        if callee_facts is not None:
+            facts.merge(callee_facts)
+
+
+def _format_argument(
+    graph: ProjectGraph, module: ParsedModule, call: ast.Call
+) -> Optional[str]:
+    """The format string of a ``struct.pack``-family call: a literal, or a
+    module-level string constant resolved through imports."""
+    if not call.args:
+        return None
+    fmt = call.args[0]
+    if isinstance(fmt, ast.Constant) and isinstance(fmt.value, str):
+        return fmt.value
+    name = dotted_name(fmt)
+    if name is None:
+        return None
+    entry = graph.constants.get(graph.resolve(module.dotted, name))
+    if entry is None:
+        return None
+    _, value = entry
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return value.value
+    return None

@@ -1,0 +1,273 @@
+"""R008 — resource lifecycle: every handle is released on every path.
+
+A ``PathStore`` that leaks one descriptor per query works fine in tests
+and falls over in the pre-forked server after a few thousand requests.
+The discipline this rule enforces per function:
+
+* an acquisition (``open``/``mmap.mmap``/``socket.socket``/temp files)
+  is safe when it is used as a ``with`` context, closed inside a
+  ``finally``/``except`` cleanup region, or has its **ownership
+  transferred** — returned/yielded to the caller, stored on an object
+  attribute, or passed to another call;
+* a handle closed only on the straight-line path leaks when any statement
+  between acquisition and ``close()`` raises — flagged as an
+  exception-path leak;
+* a handle acquired inline (``open(p).read()``) can never be closed —
+  always flagged.
+
+Classes that *store* handles in attributes must define a releaser method
+(``close``/``stop``/``shutdown``/``release``/``__exit__``) so some owner
+can audit the lifetime; the runtime twin of this rule is the fd-leak
+fixture in the test suite.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import Finding, ParsedModule, Project, Rule, dotted_name
+from repro.lint.graph import ProjectGraph
+from repro.lint.rules.fork_safety import (
+    HANDLE_FACTORIES,
+    _all_functions,
+    _handle_attributes,
+    _walk_own,
+)
+
+#: a class storing handles must expose at least one of these.
+RELEASERS = ("close", "stop", "shutdown", "release", "__exit__")
+
+
+class ResourceLifecycleRule(Rule):
+    id = "R008"
+    title = "every handle acquisition is released on all paths"
+
+    scope = "src/repro"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph = project.graph(self.scope)
+        yield from self._check_class_owners(graph)
+        for dotted in sorted(graph.modules):
+            module = graph.modules[dotted]
+            if module.relpath.startswith("src/repro/lint/"):
+                continue
+            for func in _all_functions(module.tree):
+                yield from self._check_function(graph, module, func)
+
+    # -- class-level: stored handles need an audited releaser -------------------
+
+    def _check_class_owners(self, graph: ProjectGraph) -> Iterator[Finding]:
+        for dotted in sorted(graph.classes):
+            info = graph.classes[dotted]
+            if info.module.relpath.startswith("src/repro/lint/"):
+                continue
+            handle_attrs = _handle_attributes(graph, info)
+            if not handle_attrs:
+                continue
+            if any(releaser in info.members for releaser in RELEASERS):
+                continue
+            attr, kind = sorted(handle_attrs.items())[0]
+            yield self.finding(
+                info.module,
+                info.node.lineno,
+                f"class {info.name} stores a {kind} handle in attribute "
+                f"'{attr}' but defines no releaser "
+                f"({'/'.join(RELEASERS[:3])}/...)",
+                hint="stored handles need an audited owner: add close() "
+                "(ideally plus __exit__) so callers can release the "
+                "resource deterministically",
+            )
+
+    # -- function-level: acquisition/release pairing ----------------------------
+
+    def _check_function(
+        self, graph: ProjectGraph, module: ParsedModule, func: ast.AST
+    ) -> Iterator[Finding]:
+        body = getattr(func, "body", [])
+        protected_ids = _with_protected_ids(body)
+        cleanup_ids = _cleanup_region_ids(body)
+        sinks = _collect_sinks(body, cleanup_ids)
+
+        assigned_call_ids: Set[int] = set()
+        acquisitions: List[Tuple[str, str, int]] = []  # (var, kind, line)
+        inline: List[Tuple[str, int]] = []  # (kind, line)
+
+        for node in _walk_own(body):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = _factory_kind(graph, module, node)
+            if kind is None:
+                continue
+            if id(node) in protected_ids:
+                continue  # with open(...) as f / with closing(open(...))
+            owner = _assignment_owner(body, node)
+            if owner is not None:
+                var, is_attr = owner
+                assigned_call_ids.add(id(node))
+                if is_attr:
+                    continue  # stored on an object: the class check owns it
+                acquisitions.append((var, kind, node.lineno))
+            elif id(node) in sinks.consumed_ids:
+                continue  # returned/yielded directly: caller owns it
+            else:
+                inline.append((kind, node.lineno))
+
+        for kind, line in inline:
+            yield self.finding(
+                module,
+                line,
+                f"{kind} handle acquired inline is never closed",
+                hint="bind it in a with statement (or pass through "
+                "contextlib.closing) so the handle has an owner",
+            )
+
+        for var, kind, line in acquisitions:
+            if var in sinks.withs or var in sinks.transfers:
+                continue
+            if var in sinks.closes_protected:
+                continue
+            if var in sinks.closes_plain:
+                yield self.finding(
+                    module,
+                    line,
+                    f"{kind} handle '{var}' is closed only on the success "
+                    "path",
+                    hint="an exception between open and close leaks the "
+                    "descriptor: use with, or close in try/finally "
+                    "(or except handlers on every raising path)",
+                )
+            else:
+                yield self.finding(
+                    module,
+                    line,
+                    f"{kind} handle '{var}' is never closed",
+                    hint="use with, close in try/finally, or transfer "
+                    "ownership (return it / store it on an object with "
+                    "a close())",
+                )
+
+
+# -- collection helpers --------------------------------------------------------
+
+
+class _Sinks:
+    def __init__(self) -> None:
+        self.withs: Set[str] = set()  # with v: / with closing(v):
+        self.transfers: Set[str] = set()  # returned, stored, passed on
+        self.closes_plain: Set[str] = set()
+        self.closes_protected: Set[str] = set()  # close inside finally/except
+        self.consumed_ids: Set[int] = set()  # call node ids under return/yield
+
+
+def _factory_kind(
+    graph: ProjectGraph, module: ParsedModule, call: ast.Call
+) -> Optional[str]:
+    resolved = graph.resolve_call(module, call)
+    if resolved is None:
+        return None
+    return HANDLE_FACTORIES.get(resolved)
+
+
+def _with_protected_ids(body: List[ast.stmt]) -> Set[int]:
+    """ids of every node inside a ``with`` item's context expression."""
+    protected: Set[int] = set()
+    for node in _walk_own(body):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                for sub in ast.walk(item.context_expr):
+                    protected.add(id(sub))
+    return protected
+
+
+def _cleanup_region_ids(body: List[ast.stmt]) -> Set[int]:
+    """ids of every node inside an ``except`` handler or ``finally`` block."""
+    cleanup: Set[int] = set()
+    for node in _walk_own(body):
+        if not isinstance(node, ast.Try):
+            continue
+        regions: List[ast.stmt] = list(node.finalbody)
+        for handler in node.handlers:
+            regions.extend(handler.body)
+        for stmt in regions:
+            for sub in ast.walk(stmt):
+                cleanup.add(id(sub))
+    return cleanup
+
+
+def _assignment_owner(
+    body: List[ast.stmt], call: ast.Call
+) -> Optional[Tuple[str, bool]]:
+    """``("var", False)`` when *call* is the RHS of ``var = call``,
+    ``("attr", True)`` for ``obj.attr = call``, else ``None``."""
+    for node in _walk_own(body):
+        if isinstance(node, ast.Assign) and node.value is call:
+            if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                return (node.targets[0].id, False)
+            if len(node.targets) == 1 and isinstance(node.targets[0], ast.Attribute):
+                return (node.targets[0].attr, True)
+        elif isinstance(node, ast.AnnAssign) and node.value is call:
+            if isinstance(node.target, ast.Name):
+                return (node.target.id, False)
+            if isinstance(node.target, ast.Attribute):
+                return (node.target.attr, True)
+    return None
+
+
+def _names_within(node: ast.expr) -> Iterator[str]:
+    """Names appearing directly or one tuple/list level down."""
+    if isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            if isinstance(element, ast.Name):
+                yield element.id
+
+
+def _mark_consumed(value: ast.expr, sinks: _Sinks) -> None:
+    """Ownership passes to the caller only when the handle *is* the value
+    returned/yielded (directly or one tuple level down) — a handle buried
+    inside ``return json.load(open(p))`` is still leaked."""
+    sinks.consumed_ids.add(id(value))
+    if isinstance(value, (ast.Tuple, ast.List)):
+        for element in value.elts:
+            sinks.consumed_ids.add(id(element))
+
+
+def _collect_sinks(body: List[ast.stmt], cleanup_ids: Set[int]) -> _Sinks:
+    sinks = _Sinks()
+    for node in _walk_own(body):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                sinks.withs.update(_names_within(item.context_expr))
+                for sub in ast.walk(item.context_expr):
+                    if isinstance(sub, ast.Name):
+                        sinks.withs.add(sub.id)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            sinks.transfers.update(_names_within(node.value))
+            _mark_consumed(node.value, sinks)
+        elif isinstance(node, (ast.Yield, ast.YieldFrom)) and node.value is not None:
+            sinks.transfers.update(_names_within(node.value))
+            _mark_consumed(node.value, sinks)
+        elif isinstance(node, ast.Assign):
+            # obj.attr = v / (a, b) = ... transfers ownership of v
+            if any(isinstance(t, (ast.Attribute, ast.Subscript)) for t in node.targets):
+                sinks.transfers.update(_names_within(node.value))
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            if (
+                isinstance(callee, ast.Attribute)
+                and callee.attr in ("close", "release")
+                and isinstance(callee.value, ast.Name)
+            ):
+                var = callee.value.id
+                if id(node) in cleanup_ids:
+                    sinks.closes_protected.add(var)
+                else:
+                    sinks.closes_plain.add(var)
+                continue
+            for arg in node.args:
+                sinks.transfers.update(_names_within(arg))
+            for keyword in node.keywords:
+                sinks.transfers.update(_names_within(keyword.value))
+    return sinks

@@ -351,7 +351,11 @@ class PathServer:
             listener.listen(self.config.backlog)
             context = multiprocessing.get_context("fork")
             for index in range(self.config.workers):
-                worker = context.Process(
+                # The shared listener *is* the pre-fork design: every
+                # worker accepts on the same bound socket and the kernel
+                # load-balances.  The store is reopened per worker, so the
+                # listener is the only handle that deliberately crosses.
+                worker = context.Process(  # lint: ignore[R007]
                     target=_worker_main,
                     args=(
                         listener,

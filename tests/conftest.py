@@ -7,12 +7,63 @@ in ``benchmarks/``, not here.
 
 from __future__ import annotations
 
+import gc
+import os
+
 import pytest
 
 from repro.core.config import OFFSConfig
 from repro.core.offs import OFFSCodec
 from repro.paths.dataset import PathDataset
 from repro.workloads.registry import make_dataset
+
+
+def open_fd_count() -> int:
+    """The number of open file descriptors in this process, or ``-1`` when
+    the platform exposes no fd table (neither /proc/self/fd nor /dev/fd).
+
+    The runtime twin of lint rule R008: the serve/sharded suites snapshot
+    this before and after each module to prove mmaps, sockets and store
+    files are all released.
+    """
+    for fd_dir in ("/proc/self/fd", "/dev/fd"):
+        try:
+            return len(os.listdir(fd_dir))
+        except OSError:
+            continue
+    return -1
+
+
+def make_fd_leak_guard(slack: int = 1):
+    """A module-scoped autouse fixture asserting no descriptor leaks.
+
+    *slack* absorbs interpreter-internal descriptors that legitimately
+    appear once per process (e.g. the multiprocessing resource tracker's
+    pipe on first use — we pre-start it, but a platform without fork still
+    lazily opens urandom-style fds).
+    """
+
+    @pytest.fixture(scope="module", autouse=True)
+    def _fd_leak_guard():
+        try:  # pre-start the one-pipe-per-process tracker so it is not
+            from multiprocessing import resource_tracker  # counted as a leak
+
+            resource_tracker.ensure_running()
+        except (ImportError, OSError):  # pragma: no cover - non-POSIX
+            pass
+        gc.collect()
+        before = open_fd_count()
+        yield
+        gc.collect()
+        after = open_fd_count()
+        if before < 0 or after < 0:
+            pytest.skip("platform exposes no fd table")
+        assert after <= before + slack, (
+            f"descriptor leak: {before} open fds before this module, "
+            f"{after} after (slack={slack})"
+        )
+
+    return _fd_leak_guard
 
 
 @pytest.fixture()

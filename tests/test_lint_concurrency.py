@@ -1,0 +1,609 @@
+"""Fixture tests for the cross-module analyzer: ProjectGraph + R007-R010.
+
+Same pattern as test_lint_rules.py: each rule gets miniature projects with
+seeded violations (positive) and protocol-correct twins (negative), built
+under ``tmp_path`` with the real checkout's shape.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Project, run_rules
+from repro.lint.rules.fork_safety import ForkSafetyRule
+from repro.lint.rules.format_symmetry import FormatSymmetryRule
+from repro.lint.rules.resource_lifecycle import ResourceLifecycleRule
+from repro.lint.rules.thread_discipline import ThreadDisciplineRule
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def make_project(tmp_path, files):
+    for relpath, text in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text, encoding="utf-8")
+    return Project(tmp_path)
+
+
+def messages(findings):
+    return [f.message for f in findings]
+
+
+# ---------------------------------------------------------------- ProjectGraph
+
+
+class TestProjectGraph:
+    def test_indexes_classes_functions_constants(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/store.py": (
+                "MAGIC = b\"RPXX\"\n"
+                "\n"
+                "class Store:\n"
+                "    def __init__(self):\n"
+                "        self._size = 0\n"
+                "\n"
+                "def loads(data):\n"
+                "    return data\n"
+            ),
+        })
+        graph = project.graph()
+        assert "repro.core.store" in graph.modules
+        assert "repro.core.store.Store" in graph.classes
+        assert "repro.core.store.loads" in graph.functions
+        assert graph.bytes_constant("repro.core.store", "MAGIC") == b"RPXX"
+
+    def test_resolves_relative_imports(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/__init__.py": "",
+            "src/repro/core/serialize.py": "def loads_x(data):\n    return data\n",
+            "src/repro/core/mapped.py": (
+                "from . import serialize\n"
+                "from .serialize import loads_x as lx\n"
+            ),
+        })
+        graph = project.graph()
+        assert graph.resolve("repro.core.mapped", "serialize.loads_x") == (
+            "repro.core.serialize.loads_x"
+        )
+        assert graph.resolve("repro.core.mapped", "lx") == (
+            "repro.core.serialize.loads_x"
+        )
+        assert "repro.core.serialize" in graph.imports["repro.core.mapped"]
+
+    def test_function_level_imports_resolve(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/a.py": "class Thing:\n    pass\n",
+            "src/repro/core/b.py": (
+                "def build():\n"
+                "    from repro.core.a import Thing\n"
+                "    return Thing()\n"
+            ),
+        })
+        graph = project.graph()
+        assert graph.resolve("repro.core.b", "Thing") == "repro.core.a.Thing"
+
+    def test_struct_constant_lookup(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/fmt.py": (
+                "import struct\n"
+                "HEADER = struct.Struct(\"<4sB3xQ\")\n"
+            ),
+        })
+        graph = project.graph()
+        assert graph.struct_format("repro.core.fmt", "HEADER") == "<4sB3xQ"
+
+    def test_graph_is_cached_per_scope(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/a.py": "X = 1\n",
+        })
+        assert project.graph() is project.graph()
+
+
+# ---------------------------------------------------------------- R007
+
+
+_FORKSAFE_PROTOCOL = (
+    "    @property\n"
+    "    def owner_pid(self):\n"
+    "        return self._pid\n"
+    "\n"
+    "    def reopen(self):\n"
+    "        return type(self)(self._path)\n"
+    "\n"
+    "    def process_local(self):\n"
+    "        return self\n"
+    "\n"
+    "    def __getstate__(self):\n"
+    "        return {\"path\": self._path}\n"
+)
+
+
+class TestForkSafetyRule:
+    def test_flags_partial_protocol(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/half.py": (
+                "class HalfStore:\n"
+                "    def reopen(self):\n"
+                "        return self\n"
+                "\n"
+                "    def process_local(self):\n"
+                "        return self\n"
+            ),
+        })
+        found = messages(run_rules(project, [ForkSafetyRule()]))
+        assert any(
+            "HalfStore implements only 2/4" in m and "owner_pid" in m
+            for m in found
+        )
+
+    def test_flags_unprotected_instance_crossing_pool(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/leaky.py": (
+                "import mmap\n"
+                "import multiprocessing\n"
+                "\n"
+                "class RawStore:\n"
+                "    def __init__(self, path):\n"
+                "        fh = open(path, \"rb\")\n"
+                "        self._map = mmap.mmap(fh.fileno(), 0)\n"
+                "        self._file = fh\n"
+                "\n"
+                "    def close(self):\n"
+                "        self._map.close()\n"
+                "        self._file.close()\n"
+                "\n"
+                "def fan_out(path, work):\n"
+                "    store = RawStore(path)\n"
+                "    ctx = multiprocessing.get_context(\"fork\")\n"
+                "    with ctx.Pool(2) as pool:\n"
+                "        return pool.map(work, store)\n"
+            ),
+        })
+        found = messages(run_rules(project, [ForkSafetyRule()]))
+        assert any(
+            "instance of RawStore" in m
+            and "crosses a process boundary" in m
+            and "lacks the fork-safety protocol" in m
+            for m in found
+        )
+
+    def test_flags_raw_handle_in_process_args(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/serve/bad.py": (
+                "import multiprocessing\n"
+                "import socket\n"
+                "\n"
+                "def serve(run):\n"
+                "    sock = socket.socket()\n"
+                "    ctx = multiprocessing.get_context(\"fork\")\n"
+                "    worker = ctx.Process(target=run, args=(sock,))\n"
+                "    worker.start()\n"
+            ),
+        })
+        found = messages(run_rules(project, [ForkSafetyRule()]))
+        assert any(
+            "raw socket handle 'sock'" in m and "Process(...)" in m
+            for m in found
+        )
+
+    def test_flags_closure_capturing_handle(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/closure.py": (
+                "import multiprocessing\n"
+                "\n"
+                "def build(path, pool):\n"
+                "    fh = open(path, \"rb\")\n"
+                "    def work(chunk):\n"
+                "        return fh.read(chunk)\n"
+                "    try:\n"
+                "        return pool.map(work, [1, 2])\n"
+                "    finally:\n"
+                "        fh.close()\n"
+            ),
+        })
+        found = messages(run_rules(project, [ForkSafetyRule()]))
+        assert any(
+            "worker closure" in m and "captures raw file handle 'fh'" in m
+            for m in found
+        )
+
+    def test_protocol_complete_class_is_clean(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/safe.py": (
+                "import mmap\n"
+                "import pickle\n"
+                "\n"
+                "class SafeStore:\n"
+                "    def __init__(self, path):\n"
+                "        import os\n"
+                "        self._path = path\n"
+                "        self._pid = os.getpid()\n"
+                "        fh = open(path, \"rb\")\n"
+                "        self._map = mmap.mmap(fh.fileno(), 0)\n"
+                "        self._file = fh\n"
+                "\n"
+                + _FORKSAFE_PROTOCOL
+                + "\n"
+                "    def close(self):\n"
+                "        self._map.close()\n"
+                "\n"
+                "def ship(path):\n"
+                "    store = SafeStore(path)\n"
+                "    return pickle.dumps(store)\n"
+            ),
+        })
+        assert run_rules(project, [ForkSafetyRule()]) == []
+
+    def test_pragma_suppresses_deliberate_prefork(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/serve/ok.py": (
+                "import multiprocessing\n"
+                "import socket\n"
+                "\n"
+                "def serve(run):\n"
+                "    sock = socket.socket()\n"
+                "    ctx = multiprocessing.get_context(\"fork\")\n"
+                "    worker = ctx.Process(target=run, args=(sock,))  "
+                "# lint: ignore[R007]\n"
+                "    worker.start()\n"
+            ),
+        })
+        assert run_rules(project, [ForkSafetyRule()]) == []
+
+
+# ---------------------------------------------------------------- R008
+
+
+class TestResourceLifecycleRule:
+    def test_flags_never_closed(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/leak.py": (
+                "def read_all(path):\n"
+                "    fh = open(path, \"rb\")\n"
+                "    data = fh.read()\n"
+                "    return data\n"
+            ),
+        })
+        found = messages(run_rules(project, [ResourceLifecycleRule()]))
+        assert found == ["file handle 'fh' is never closed"]
+
+    def test_flags_success_path_only_close(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/leak2.py": (
+                "def read_all(path, parse):\n"
+                "    fh = open(path, \"rb\")\n"
+                "    data = parse(fh.read())\n"
+                "    fh.close()\n"
+                "    return data\n"
+            ),
+        })
+        found = messages(run_rules(project, [ResourceLifecycleRule()]))
+        assert found == ["file handle 'fh' is closed only on the success path"]
+
+    def test_flags_inline_acquisition(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/leak3.py": (
+                "import json\n"
+                "\n"
+                "def read_config(path):\n"
+                "    return json.load(open(path))\n"
+            ),
+        })
+        found = messages(run_rules(project, [ResourceLifecycleRule()]))
+        assert found == ["file handle acquired inline is never closed"]
+
+    def test_flags_class_without_releaser(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/holder.py": (
+                "class Holder:\n"
+                "    def __init__(self, path):\n"
+                "        self._fh = open(path, \"rb\")\n"
+            ),
+        })
+        found = messages(run_rules(project, [ResourceLifecycleRule()]))
+        assert any(
+            "Holder stores a file handle" in m and "no releaser" in m
+            for m in found
+        )
+
+    def test_accepts_with_finally_and_transfer(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/clean.py": (
+                "import mmap\n"
+                "\n"
+                "class Owner:\n"
+                "    def __init__(self, fh):\n"
+                "        self._fh = fh\n"
+                "\n"
+                "    def close(self):\n"
+                "        self._fh.close()\n"
+                "\n"
+                "def read_with(path):\n"
+                "    with open(path, \"rb\") as fh:\n"
+                "        return fh.read()\n"
+                "\n"
+                "def read_finally(path):\n"
+                "    fh = open(path, \"rb\")\n"
+                "    try:\n"
+                "        return fh.read()\n"
+                "    finally:\n"
+                "        fh.close()\n"
+                "\n"
+                "def open_owner(path):\n"
+                "    fh = open(path, \"rb\")\n"
+                "    try:\n"
+                "        mapped = mmap.mmap(fh.fileno(), 0)\n"
+                "    except (ValueError, OSError):\n"
+                "        fh.close()\n"
+                "        raise\n"
+                "    owner = Owner(fh)\n"
+                "    return owner, mapped\n"
+                "\n"
+                "def give_back(path):\n"
+                "    fh = open(path, \"rb\")\n"
+                "    return fh\n"
+            ),
+        })
+        assert run_rules(project, [ResourceLifecycleRule()]) == []
+
+
+# ---------------------------------------------------------------- R009
+
+
+class TestThreadDisciplineRule:
+    def test_flags_unguarded_shared_attribute(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/racy.py": (
+                "import threading\n"
+                "\n"
+                "class Ingest:\n"
+                "    def __init__(self):\n"
+                "        self._sealed = 0\n"
+                "\n"
+                "    def seal(self):\n"
+                "        def write():\n"
+                "            self._sealed += 1\n"
+                "        thread = threading.Thread(target=write)\n"
+                "        thread.start()\n"
+                "        return thread\n"
+                "\n"
+                "    def reset(self):\n"
+                "        self._sealed = 0\n"
+            ),
+        })
+        found = messages(run_rules(project, [ThreadDisciplineRule()]))
+        assert any(
+            "'_sealed'" in m and "without a shared lock" in m for m in found
+        )
+
+    def test_flags_self_method_target(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/racy2.py": (
+                "import threading\n"
+                "\n"
+                "class Drainer:\n"
+                "    def __init__(self):\n"
+                "        self._queue = []\n"
+                "\n"
+                "    def start(self):\n"
+                "        thread = threading.Thread(target=self._drain)\n"
+                "        thread.start()\n"
+                "\n"
+                "    def _drain(self):\n"
+                "        self._queue = []\n"
+                "\n"
+                "    def push(self, item):\n"
+                "        self._queue = self._queue + [item]\n"
+            ),
+        })
+        found = messages(run_rules(project, [ThreadDisciplineRule()]))
+        assert any("'_queue'" in m for m in found)
+
+    def test_lock_guarded_writes_are_clean(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/guarded.py": (
+                "import threading\n"
+                "\n"
+                "class Ingest:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._sealed = 0\n"
+                "\n"
+                "    def seal(self):\n"
+                "        def write():\n"
+                "            with self._lock:\n"
+                "                self._sealed += 1\n"
+                "        thread = threading.Thread(target=write)\n"
+                "        thread.start()\n"
+                "        return thread\n"
+                "\n"
+                "    def reset(self):\n"
+                "        with self._lock:\n"
+                "            self._sealed = 0\n"
+            ),
+        })
+        assert run_rules(project, [ThreadDisciplineRule()]) == []
+
+    def test_locals_only_seal_thread_is_clean(self, tmp_path):
+        # the real ShardedIngest pattern: the thread touches only locals
+        project = make_project(tmp_path, {
+            "src/repro/core/localseal.py": (
+                "import threading\n"
+                "\n"
+                "class Ingest:\n"
+                "    def __init__(self):\n"
+                "        self._pending = None\n"
+                "\n"
+                "    def seal(self, blob, path):\n"
+                "        def write():\n"
+                "            with open(path, \"wb\") as fh:\n"
+                "                fh.write(blob)\n"
+                "        thread = threading.Thread(target=write)\n"
+                "        thread.start()\n"
+                "        self._pending = thread\n"
+                "\n"
+                "    def finish(self):\n"
+                "        if self._pending is not None:\n"
+                "            self._pending.join()\n"
+                "            self._pending = None\n"
+            ),
+        })
+        assert run_rules(project, [ThreadDisciplineRule()]) == []
+
+
+# ---------------------------------------------------------------- R010
+
+
+class TestFormatSymmetryRule:
+    def test_flags_unpacked_field_type_mismatch(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/fmt1.py": (
+                "import struct\n"
+                "\n"
+                "def dumps_rec(count, size):\n"
+                "    return struct.pack(\"<IQ\", count, size)\n"
+                "\n"
+                "def loads_rec(data):\n"
+                "    (count,) = struct.unpack(\"<I\", data[:4])\n"
+                "    return count\n"
+            ),
+        })
+        found = messages(run_rules(project, [FormatSymmetryRule()]))
+        assert found == [
+            "dumps_rec() packs struct field type(s) 'Q' that loads_rec() "
+            "never unpacks"
+        ]
+
+    def test_flags_unchecked_magic(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/fmt2.py": (
+                "MAGIC = b\"RPXY\"\n"
+                "\n"
+                "def dumps_blob(payload):\n"
+                "    return MAGIC + payload\n"
+                "\n"
+                "def loads_blob(data):\n"
+                "    return data[4:]\n"
+            ),
+        })
+        found = messages(run_rules(project, [FormatSymmetryRule()]))
+        assert found == [
+            "dumps_blob() writes constant bytes b'RPXY' that loads_blob() "
+            "never references"
+        ]
+
+    def test_flags_missing_crc_check(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/fmt3.py": (
+                "import struct\n"
+                "import zlib\n"
+                "\n"
+                "def dumps_body(payload):\n"
+                "    crc = zlib.crc32(payload) & 0xFFFFFFFF\n"
+                "    return struct.pack(\"<I\", crc) + payload\n"
+                "\n"
+                "def loads_body(data):\n"
+                "    (crc,) = struct.unpack(\"<I\", data[:4])\n"
+                "    return data[4:]\n"
+            ),
+        })
+        found = messages(run_rules(project, [FormatSymmetryRule()]))
+        assert found == [
+            "dumps_body() computes 1 CRC32 checksum(s) but loads_body() "
+            "checks only 0"
+        ]
+
+    def test_symmetric_pair_is_clean(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/fmt4.py": (
+                "import struct\n"
+                "import zlib\n"
+                "\n"
+                "MAGIC = b\"RPOK\"\n"
+                "HEADER = struct.Struct(\"<4sBI\")\n"
+                "\n"
+                "def dumps_blob(payload):\n"
+                "    crc = zlib.crc32(payload) & 0xFFFFFFFF\n"
+                "    return HEADER.pack(MAGIC, 1, crc) + payload\n"
+                "\n"
+                "def loads_blob(data):\n"
+                "    magic, version, crc = HEADER.unpack_from(data)\n"
+                "    if magic != MAGIC:\n"
+                "        raise ValueError(\"bad magic\")\n"
+                "    payload = data[HEADER.size:]\n"
+                "    if zlib.crc32(payload) & 0xFFFFFFFF != crc:\n"
+                "        raise ValueError(\"bad crc\")\n"
+                "    return payload\n"
+            ),
+        })
+        assert run_rules(project, [FormatSymmetryRule()]) == []
+
+    def test_facts_cross_module_through_reader_class(self, tmp_path):
+        # the RPC2 shape: loads_* returns a lazy reader class; the CRC and
+        # magic checks live in the class, not the loads function itself.
+        project = make_project(tmp_path, {
+            "src/repro/core/rdr.py": (
+                "import struct\n"
+                "import zlib\n"
+                "from repro.core.fmtmod import MAGIC\n"
+                "\n"
+                "class Reader:\n"
+                "    def __init__(self, data):\n"
+                "        magic, crc = struct.unpack(\"<4sI\", data[:8])\n"
+                "        if magic != MAGIC:\n"
+                "            raise ValueError(\"bad magic\")\n"
+                "        if zlib.crc32(data[8:]) & 0xFFFFFFFF != crc:\n"
+                "            raise ValueError(\"bad crc\")\n"
+                "        self.payload = data[8:]\n"
+            ),
+            "src/repro/core/fmtmod.py": (
+                "import struct\n"
+                "import zlib\n"
+                "\n"
+                "MAGIC = b\"RPLZ\"\n"
+                "\n"
+                "def dumps_blob(payload):\n"
+                "    crc = zlib.crc32(payload) & 0xFFFFFFFF\n"
+                "    return struct.pack(\"<4sI\", MAGIC, crc) + payload\n"
+                "\n"
+                "def loads_blob(data):\n"
+                "    from repro.core.rdr import Reader\n"
+                "    return Reader(data)\n"
+            ),
+        })
+        assert run_rules(project, [FormatSymmetryRule()]) == []
+
+    def test_memoryview_cast_counts_as_unpack(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/fmt5.py": (
+                "import struct\n"
+                "\n"
+                "def dumps_index(offsets):\n"
+                "    out = bytearray()\n"
+                "    for value in offsets:\n"
+                "        out += struct.pack(\"<Q\", value)\n"
+                "    return bytes(out)\n"
+                "\n"
+                "def loads_index(data):\n"
+                "    view = memoryview(data).cast(\"Q\")\n"
+                "    return list(view)\n"
+            ),
+        })
+        assert run_rules(project, [FormatSymmetryRule()]) == []
+
+
+# ---------------------------------------------------------------- self-check
+
+
+class TestRepositoryIsCleanForNewRules:
+    def test_new_rules_clean_on_repo(self):
+        project = Project(REPO_ROOT)
+        rules = [
+            ForkSafetyRule(),
+            ResourceLifecycleRule(),
+            ThreadDisciplineRule(),
+            FormatSymmetryRule(),
+        ]
+        findings = run_rules(project, rules)
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -357,9 +357,10 @@ class TestEngine:
         rules = rules_by_id(["R003", "R001"])
         assert [r.id for r in rules] == ["R003", "R001"]
 
-    def test_all_rules_cover_r001_to_r006(self):
+    def test_all_rules_cover_r001_to_r010(self):
         assert [r.id for r in all_rules()] == [
             "R001", "R002", "R003", "R004", "R005", "R006",
+            "R007", "R008", "R009", "R010",
         ]
 
     def test_path_filter_restricts_reporting(self, tmp_path):
@@ -449,6 +450,85 @@ class TestCli:
         assert (tmp_path / "lint_baseline.json").is_file()
         assert main(["--root", str(tmp_path)]) == 0
         assert main(["--root", str(tmp_path), "--no-baseline"]) == 1
+
+    def test_gha_format_annotations(self, tmp_path, capsys):
+        from repro.lint.__main__ import main
+
+        make_project(tmp_path, {
+            "src/repro/core/bad.py": "import time\nT = time.time()\n",
+        })
+        assert main(["--root", str(tmp_path), "--format", "gha"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("::error file=src/repro/core/bad.py,line=")
+        assert "title=repro.lint R001::" in out
+        # workflow-command data must escape newlines and percent signs
+        assert "\n" not in out.rstrip("\n").split("::error", 1)[1]
+
+    def test_unknown_pragma_warns_and_strict_exits_2(self, tmp_path, capsys):
+        from repro.lint.__main__ import main
+
+        make_project(tmp_path, {
+            "src/repro/core/ok.py": (
+                "import time\n"
+                "T = time.perf_counter()  # lint: ignore[R999]\n"
+            ),
+        })
+        assert main(["--root", str(tmp_path)]) == 0
+        err = capsys.readouterr().err
+        assert "pragma names unknown rule R999" in err
+        assert main(["--root", str(tmp_path), "--strict"]) == 2
+
+    def test_known_pragma_is_not_warned(self, tmp_path, capsys):
+        from repro.lint.__main__ import main
+
+        make_project(tmp_path, {
+            "src/repro/core/ok.py": (
+                "import time\n"
+                "T = time.time()  # lint: ignore[R001]\n"
+            ),
+        })
+        assert main(["--root", str(tmp_path), "--strict"]) == 0
+        assert "unknown rule" not in capsys.readouterr().err
+
+    def test_changed_mode_filters_to_git_diff(self, tmp_path, capsys):
+        import subprocess
+
+        from repro.lint.__main__ import main
+
+        make_project(tmp_path, {
+            "src/repro/core/committed.py": "import time\nT = time.time()\n",
+            "src/repro/core/untouched.py": "import time\nU = time.time()\n",
+        })
+        git = ["git", "-C", str(tmp_path)]
+        subprocess.run(git + ["init", "-q"], check=True)
+        subprocess.run(git + ["add", "-A"], check=True)
+        subprocess.run(
+            git + ["-c", "user.email=t@t", "-c", "user.name=t",
+                   "commit", "-q", "-m", "seed"],
+            check=True,
+        )
+        # untouched since HEAD: nothing to report
+        assert main(["--root", str(tmp_path), "--changed"]) == 0
+        assert "no changed python files" in capsys.readouterr().out
+        # touch one file: only its findings are reported
+        (tmp_path / "src/repro/core/committed.py").write_text(
+            "import time\nT = time.time()\nX = 1\n"
+        )
+        assert main(["--root", str(tmp_path), "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "committed.py" in out
+        assert "untouched.py" not in out
+
+    def test_changed_mode_falls_back_outside_git(self, tmp_path, capsys):
+        from repro.lint.__main__ import main
+
+        make_project(tmp_path, {
+            "src/repro/core/bad.py": "import time\nT = time.time()\n",
+        })
+        assert main(["--root", str(tmp_path), "--changed"]) == 1
+        captured = capsys.readouterr()
+        assert "falling back to a full scan" in captured.err
+        assert "bad.py" in captured.out
 
 
 # ---------------------------------------------------------------- the repo itself

@@ -37,10 +37,16 @@ from repro.core.supernode_table import SupernodeTable
 from repro.serve import PathServer, ServeConfig, check_store
 from repro.serve.protocol import encode_body, error_body, status_for
 
+from conftest import make_fd_leak_guard
+
 pytestmark = pytest.mark.skipif(
     "fork" not in multiprocessing.get_all_start_methods(),
     reason="repro.serve requires the fork start method (POSIX)",
 )
+
+# Forked workers, the shared listener and per-request sockets must all be
+# gone when this module's fixtures tear down (the runtime twin of R008).
+_fd_leak_guard = make_fd_leak_guard()
 
 PATHS = [
     (1, 2, 3, 4, 5),

@@ -44,6 +44,12 @@ from repro.paths.dataset import PathDataset
 from repro.queries.retrieval import PathQueryEngine
 from repro.queries.subpath_search import SubpathSearcher
 
+from conftest import make_fd_leak_guard
+
+# Shard mmaps, pool workers and manifest files must all be released when
+# this module's fixtures tear down (the runtime twin of R008).
+_fd_leak_guard = make_fd_leak_guard()
+
 
 def _dataset():
     # Repetitive enough to compress, varied enough that shards differ; the
