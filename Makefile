@@ -1,6 +1,6 @@
 # Convenience targets for the OFFS reproduction.
 
-.PHONY: install test lint lint-changed bench bench-quick bench-smoke bench-serve bench-shard examples experiments clean
+.PHONY: install test lint lint-changed bench bench-quick bench-smoke bench-serve bench-shard bench-ablation bench-ablation-quick bench-check examples experiments clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -44,6 +44,23 @@ bench-serve:
 # artifact.
 bench-shard:
 	PYTHONPATH=src python benchmarks/bench_shard.py --size medium --out BENCH_shard.json
+
+# Component-ablation matrix (baseline + one cell per knob value, per
+# workload) with the ranked importance report autotune consumes; resumable
+# via BENCH_ablation.json.partial.  The quick variant is the CI-sized run.
+bench-ablation:
+	PYTHONPATH=src python benchmarks/bench_ablation.py --size small --out BENCH_ablation.json
+
+bench-ablation-quick:
+	PYTHONPATH=src python benchmarks/bench_ablation.py --size tiny --rounds 1 --out BENCH_ablation.json
+
+# Bench-regression gate: diff the fresh smoke/decode JSONs against the
+# committed baselines (benchmarks/baselines/).  Correctness-derived metrics
+# (round-trip flags, CR, byte sizes) must match exactly; timings only warn
+# inside the tolerance band.  CI runs this inside the bench(smoke) job.
+bench-check:
+	python tools/bench_compare.py --baseline-dir benchmarks/baselines \
+		--format gha BENCH_smoke.json BENCH_decode.json
 
 experiments:
 	python -m repro.bench --size medium --out experiments_report.txt

@@ -8,6 +8,20 @@ examples can render them with
 provides the shared codec roster and run configuration.
 """
 
+from repro.bench.ablation import (
+    KNOBS,
+    Cell,
+    Knob,
+    RunSpec,
+    baseline_spec,
+    build_report,
+    generate_matrix,
+    importance_table,
+    load_report,
+    measure_cell,
+    run_ablation,
+    run_matrix,
+)
 from repro.bench.harness import BenchConfig, default_codecs, offs_pair
 from repro.bench.experiments import (
     exp_ablation_matchers,
@@ -26,6 +40,18 @@ __all__ = [
     "BenchConfig",
     "default_codecs",
     "offs_pair",
+    "KNOBS",
+    "Cell",
+    "Knob",
+    "RunSpec",
+    "baseline_spec",
+    "build_report",
+    "generate_matrix",
+    "importance_table",
+    "load_report",
+    "measure_cell",
+    "run_ablation",
+    "run_matrix",
     "exp_ablation_matchers",
     "exp_ablation_measure",
     "exp_ablation_params",

@@ -9,6 +9,9 @@ The operational surface a deployment needs, over the text/binary formats of
   the v1 blob; ``--shards N`` writes a *sharded* store instead (an
   ``RPSM`` manifest plus N self-contained v2 shard files, compressed in
   parallel across ``--processes`` workers; see docs/formats.md).
+  ``--auto`` tunes the config on a pilot sample first and compresses with
+  the pick; add ``--ablation-report BENCH_ablation.json`` to prune the
+  search with measured component importance (see docs/ablation.md).
 * ``python -m repro decompress IN.offs OUT.paths`` — restore the text file.
 * ``python -m repro stats IN.offs`` — archive health without decompression.
 * ``python -m repro retrieve IN.offs --id 42`` — fetch single paths;
@@ -30,7 +33,8 @@ the shards and return exactly what the monolithic archive would.
   store or sharded manifest; see docs/serving.md).
 * ``python -m repro verify IN.offs`` — integrity + sampled round-trip.
 * ``python -m repro generate NAME OUT.paths`` — synthetic workloads.
-* ``python -m repro tune IN.paths`` — Exp-1-style (i, k) selection.
+* ``python -m repro tune IN.paths`` — Exp-1-style (i, k) selection;
+  ``--ablation-report`` switches to the guarded ablation-guided mode.
 * ``python -m repro compare IN.paths`` — Fig. 5-style codec comparison.
 
 ``compress``, ``decompress`` and ``compare`` accept ``--metrics OUT.json``:
@@ -123,6 +127,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--partition", choices=("range", "hash"), default="range",
                    help="shard placement: contiguous id ranges (default) or "
                         "modulo interleaving (with --shards)")
+    p.add_argument("--auto", action="store_true",
+                   help="autotune (i, k) on a pilot sample of the input and "
+                        "compress with the pick (explicit knob flags become "
+                        "the tuning base)")
+    p.add_argument("--ablation-report", metavar="JSON", default=None,
+                   help="with --auto: a BENCH_ablation.json report; prunes "
+                        "the search to components that measured as important "
+                        "and applies their best values (guard-verified)")
+    p.add_argument("--auto-pilot", type=int, default=2000, metavar="N",
+                   help="paths measured per tuning grid point (with --auto)")
     _add_offs_options(p)
     _add_metrics_option(p)
 
@@ -182,6 +196,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("input", help="text file, one space-separated path per line")
     p.add_argument("--pilot", type=int, default=2000,
                    help="paths measured per grid point")
+    p.add_argument("--ablation-report", metavar="JSON", default=None,
+                   help="BENCH_ablation.json report; prunes the sweep to "
+                        "important components and emits a guard-verified "
+                        "recommended config")
 
     p = sub.add_parser("verify", help="validate an archive's integrity")
     p.add_argument("input", help="archive file")
@@ -205,6 +223,14 @@ def _load_store(path: str):
     return open_store(path)
 
 
+def _load_ablation_report(path: Optional[str]):
+    if path is None:
+        return None
+    from repro.bench.ablation import load_report
+
+    return load_report(path)
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
     dataset = load_text(args.input, name=args.input)
     config = OFFSConfig(
@@ -216,6 +242,25 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         topdown_rounds=args.topdown_rounds,
         matcher=args.backend,
     )
+    if args.ablation_report and not args.auto:
+        print("error: --ablation-report requires --auto", file=sys.stderr)
+        return 1
+    if args.auto:
+        from repro.core.autotune import autotune
+
+        result = autotune(
+            dataset,
+            base=config,
+            pilot_paths=args.auto_pilot,
+            ablation_report=_load_ablation_report(args.ablation_report),
+        )
+        config = result.best_config(base=config)
+        note = ""
+        if result.used_ablation:
+            note = " (ablation-guided"
+            note += ", guard fell back to default)" if result.fallback_to_default else ")"
+        print(f"autotuned: i={config.iterations} k={config.sample_exponent} "
+              f"matcher={config.matcher}{note}", file=sys.stderr)
     corpus = dataset.to_flat()
     with _metrics_scope(args) as obs:
         codec = OFFSCodec(config).fit(corpus)
@@ -391,7 +436,11 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     from repro.core.autotune import autotune
 
     dataset = load_text(args.input, name=args.input)
-    result = autotune(dataset, pilot_paths=args.pilot)
+    result = autotune(
+        dataset,
+        pilot_paths=args.pilot,
+        ablation_report=_load_ablation_report(args.ablation_report),
+    )
     rows = [("i", "k", "CR", "CS (MB/s)")] + [p.as_row() for p in result.points]
     print(format_table(rows, title=f"tuning sweep ({result.pilot_paths} pilot paths)"))
     d, f = result.default_mode, result.fast_mode
@@ -399,6 +448,15 @@ def _cmd_tune(args: argparse.Namespace) -> int:
           f"(CR {d.compression_ratio:.2f}, CS {d.compression_speed_mbps:.2f} MB/s)")
     print(f"fast mode:    i={f.iterations} k={f.sample_exponent} "
           f"(CR {f.compression_ratio:.2f}, CS {f.compression_speed_mbps:.2f} MB/s)")
+    if result.used_ablation:
+        rec = result.best_config()
+        print(f"\nrecommended (ablation-guided): i={rec.iterations} "
+              f"k={rec.sample_exponent} matcher={rec.matcher} "
+              f"capacity={rec.capacity} topdown_rounds={rec.topdown_rounds}")
+        if result.pruned_components:
+            print("pruned components: " + ", ".join(result.pruned_components))
+        if result.fallback_to_default:
+            print("guard: recommendation lost CR to the default -> kept default")
     return 0
 
 

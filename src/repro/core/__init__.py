@@ -26,7 +26,12 @@ The paper's primary contribution lives here:
   builds, LSM-style streaming ingest, and manifest-routed fan-out reads.
 """
 
-from repro.core.autotune import TuningResult, autotune
+from repro.core.autotune import (
+    DEFAULT_MIN_IMPORTANCE,
+    TuningResult,
+    ablation_overrides,
+    autotune,
+)
 from repro.core.builder import BuildReport, TableBuilder, build_supernode_table
 from repro.core.codec import PathCodec, TableCodec
 from repro.core.compressor import (
@@ -89,7 +94,9 @@ from repro.core.supernode_table import SupernodeTable
 from repro.core.trie import TrieCandidates
 
 __all__ = [
+    "DEFAULT_MIN_IMPORTANCE",
     "TuningResult",
+    "ablation_overrides",
     "autotune",
     "SegmentedArchive",
     "ValidationReport",

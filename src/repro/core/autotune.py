@@ -14,19 +14,40 @@ automates that decision for a new workload:
 
 The sweep measures on a bounded pilot (``pilot_paths``), so tuning cost is
 independent of archive size — the same reason table construction samples.
+
+**Ablation-guided mode.**  Given an ``ablation_report`` (the
+``BENCH_ablation.json`` payload of :mod:`repro.bench.ablation`),
+:func:`autotune` stops treating every knob as equally suspect:
+
+* components the report scored below ``min_importance`` are pinned to their
+  defaults (the (i, k) grid collapses to a single row/column when table
+  construction or sampling did not move any metric);
+* components that *did* matter contribute their measured best value —
+  CR-improving values are applied outright, CR-neutral ones only when they
+  buy speed — as config overrides for the sweep base;
+* the final pick is **guarded**: the recommended config and the untouched
+  default are both measured on the same pilot with full round-trip
+  verification, and if the recommendation does not hold the default's CR the
+  tuner falls back to the default.  An ablation report can therefore narrow
+  and speed up tuning, but never talk it into a worse or corrupt config.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import measure_codec
 from repro.core.config import OFFSConfig
 from repro.core.errors import InvalidInputError
 from repro.core.offs import OFFSCodec
 from repro.paths.dataset import PathDataset
+
+#: Components below this importance (max relative headline-metric delta,
+#: see :func:`repro.bench.ablation.importance_table`) are pruned from the
+#: guided search space.
+DEFAULT_MIN_IMPORTANCE = 0.02
 
 
 @dataclass(frozen=True)
@@ -49,13 +70,25 @@ class TuningPoint:
 
 @dataclass(frozen=True)
 class TuningResult:
-    """The sweep's outcome: the two operating points, Exp-1 style."""
+    """The sweep's outcome: the two operating points, Exp-1 style.
+
+    In ablation-guided mode (``autotune(..., ablation_report=...)``) the
+    result additionally carries the guarded recommendation:
+    ``recommended_config`` is the full per-workload config (sweep pick plus
+    the report's component overrides), ``pruned_components`` lists what the
+    report let the tuner skip, and ``fallback_to_default`` records that the
+    guard rejected a recommendation that failed to hold the default's CR.
+    """
 
     default_mode: TuningPoint
     fast_mode: TuningPoint
     points: Tuple[TuningPoint, ...]
     pilot_paths: int
     elapsed_seconds: float
+    recommended_config: Optional[OFFSConfig] = None
+    pruned_components: Tuple[str, ...] = ()
+    used_ablation: bool = False
+    fallback_to_default: bool = False
 
     def default_config(self, base: Optional[OFFSConfig] = None) -> OFFSConfig:
         """An :class:`OFFSConfig` for the default-mode pick."""
@@ -72,6 +105,13 @@ class TuningResult:
             iterations=self.fast_mode.iterations,
             sample_exponent=self.fast_mode.sample_exponent,
         )
+
+    def best_config(self, base: Optional[OFFSConfig] = None) -> OFFSConfig:
+        """The config to deploy: the guarded recommendation when one exists
+        (ablation-guided mode), otherwise the default-mode pick."""
+        if self.recommended_config is not None:
+            return self.recommended_config
+        return self.default_config(base)
 
 
 def sweep(
@@ -130,6 +170,103 @@ def choose(
     return default, fast
 
 
+# -- consuming an ablation report ------------------------------------------------
+
+
+def _parse_knob_value(label: str) -> object:
+    """Invert :func:`repro.bench.ablation.format_value` run-id spellings."""
+    if label == "none":
+        return None
+    if label == "on":
+        return True
+    if label == "off":
+        return False
+    try:
+        return int(label)
+    except ValueError:
+        return label
+
+
+def _workload_entries(
+    report: Mapping[str, object], workload: Optional[str]
+) -> List[Mapping[str, object]]:
+    """The report's importance entries for *workload*.
+
+    Falls back to the per-knob maximum-importance entry across every
+    workload when the dataset's workload was not in the campaign — a
+    component that mattered anywhere stays in the search space.
+    """
+    entries = list(report.get("importance", ()))
+    named = [e for e in entries if e.get("workload") == workload]
+    if named:
+        return named
+    best: Dict[str, Mapping[str, object]] = {}
+    for entry in entries:
+        knob = str(entry["knob"])
+        if knob not in best or entry["importance"] > best[knob]["importance"]:
+            best[knob] = entry
+    return sorted(
+        best.values(), key=lambda e: (-float(e["importance"]), str(e["knob"]))
+    )
+
+
+def ablation_overrides(
+    report: Mapping[str, object],
+    workload: Optional[str] = None,
+    min_importance: float = DEFAULT_MIN_IMPORTANCE,
+) -> Tuple[Dict[str, object], Tuple[str, ...], Tuple[str, ...]]:
+    """Distill a report into sweep inputs for one workload.
+
+    :returns: ``(config_overrides, important_knobs, pruned_components)`` —
+        overrides are :class:`OFFSConfig` field values taken from each
+        important config-targeted knob's best cell (CR-improving values
+        outright, CR-neutral ones only when they bought speed);
+        ``important_knobs`` names every knob at or above *min_importance*
+        (the (i, k) grid prunes on it); ``pruned_components`` is the
+        complement, for reporting.
+    """
+    meta = {str(knob["name"]): knob for knob in report.get("knobs", ())}
+    overrides: Dict[str, object] = {}
+    important: List[str] = []
+    pruned: List[str] = []
+    # Entries arrive in descending importance, so when two knobs' settings
+    # collide (hash_bits requires the rolling matcher; the matcher knob may
+    # have picked another backend) the knob that moved metrics more wins.
+    for entry in _workload_entries(report, workload):
+        knob = str(entry["knob"])
+        if float(entry["importance"]) < min_importance:
+            pruned.append(str(entry["component"]))
+            continue
+        important.append(knob)
+        target = str(meta.get(knob, {}).get("target", ""))
+        scope, _, fieldname = target.partition(".")
+        if scope != "config" or fieldname in ("iterations", "sample_exponent"):
+            continue  # pipeline knobs and the (i, k) grid are not overrides
+        values: Mapping[str, Mapping[str, float]] = entry.get("values", {})
+        if not values:
+            continue
+        label, deltas = max(
+            values.items(),
+            key=lambda item: (item[1]["delta_cr"], item[1]["delta_cs"], item[0]),
+        )
+        if deltas["delta_cr"] < 0 or (
+            deltas["delta_cr"] == 0 and deltas["delta_cs"] <= 0
+        ):
+            continue  # the knob mattered, but no swept value beat the baseline
+        # Reconstruct the exact settings the winning cell measured with.
+        settings = [
+            (str(t), _parse_knob_value(str(v)))
+            for t, v in meta.get(knob, {}).get("requires", ())
+            if str(t).startswith("config.")
+        ]
+        settings.append((target, _parse_knob_value(label)))
+        fields = {t.partition(".")[2]: v for t, v in settings}
+        if any(overrides.get(f, v) != v for f, v in fields.items()):
+            continue  # conflicts with a more important knob's pick
+        overrides.update(fields)
+    return overrides, tuple(important), tuple(pruned)
+
+
 def autotune(
     dataset,
     base: Optional[OFFSConfig] = None,
@@ -137,15 +274,80 @@ def autotune(
     cr_tolerance: float = 0.05,
     fast_cr_loss: float = 0.35,
     seed: int = 0,
+    i_values: Sequence[int] = (1, 2, 3, 4, 6),
+    k_values: Sequence[int] = (0, 1, 2, 3, 4),
+    ablation_report: Optional[Mapping[str, object]] = None,
+    workload: Optional[str] = None,
+    min_importance: float = DEFAULT_MIN_IMPORTANCE,
 ) -> TuningResult:
-    """One-call tuning: sweep the grid, pick the two operating points."""
+    """One-call tuning: sweep the grid, pick the two operating points.
+
+    With *ablation_report* (a loaded ``BENCH_ablation.json``, see
+    :func:`repro.bench.ablation.load_report`) the sweep is pruned to the
+    components the report scored as mattering for *workload* (defaulting to
+    the dataset's name), the report's best component values are applied to
+    the sweep base, and the returned :attr:`TuningResult.recommended_config`
+    is guard-verified: measured against the unmodified default on the same
+    pilot with full round-trip verification, falling back to the default if
+    it scores a worse CR.
+    """
     started = time.perf_counter()
-    points = sweep(dataset, base=base, pilot_paths=pilot_paths, seed=seed)
+    base = base or OFFSConfig()
+    overrides: Dict[str, object] = {}
+    important: Tuple[str, ...] = ()
+    pruned: Tuple[str, ...] = ()
+    sweep_base = base
+    if ablation_report is not None:
+        overrides, important, pruned = ablation_overrides(
+            ablation_report,
+            workload=workload or getattr(dataset, "name", None),
+            min_importance=min_importance,
+        )
+        sweep_base = base.with_(**overrides)
+        if "iterations" not in important:
+            i_values = (base.iterations,)
+        if "sample_exponent" not in important:
+            k_values = (base.sample_exponent,)
+
+    points = sweep(
+        dataset,
+        i_values=i_values,
+        k_values=k_values,
+        base=sweep_base,
+        pilot_paths=pilot_paths,
+        seed=seed,
+    )
     default, fast = choose(points, cr_tolerance=cr_tolerance, fast_cr_loss=fast_cr_loss)
+
+    recommended: Optional[OFFSConfig] = None
+    fallback = False
+    if ablation_report is not None:
+        paths = list(dataset)
+        pilot = PathDataset(paths[:pilot_paths], name="pilot")
+        candidate = sweep_base.with_(
+            iterations=default.iterations,
+            sample_exponent=default.sample_exponent,
+            seed=seed,
+        )
+        reference = base.with_(seed=seed)
+        # The guard measures with verify=True: a recommendation that cannot
+        # round-trip byte-identically raises here instead of shipping.
+        candidate_m = measure_codec(OFFSCodec(candidate), pilot, verify=True)
+        reference_m = measure_codec(OFFSCodec(reference), pilot, verify=True)
+        if candidate_m.compression_ratio >= reference_m.compression_ratio:
+            recommended = candidate
+        else:
+            recommended = reference
+            fallback = True
+
     return TuningResult(
         default_mode=default,
         fast_mode=fast,
         points=tuple(points),
         pilot_paths=min(pilot_paths, len(dataset)),
         elapsed_seconds=time.perf_counter() - started,
+        recommended_config=recommended,
+        pruned_components=pruned,
+        used_ablation=ablation_report is not None,
+        fallback_to_default=fallback,
     )

@@ -24,6 +24,12 @@ The paper's tunables, with its deployed defaults (Section VI-A):
   ``"multilevel"`` (Algorithm 7), ``"trie"`` (the §IV-D optimization (2)) or
   ``"rolling"`` (the rolling-hash scheme of :mod:`repro.core.rollhash`,
   O(1) per probed length).
+* ``hash_bits`` (default 64) — stored-hash width of the ``rolling`` backend
+  (ignored by the others).  Smaller widths raise the collision rate and so
+  the collision-verify cost; compressed output is identical at any width
+  because every candidate match is verified against the real symbols.  The
+  ablation harness (:mod:`repro.bench.ablation`) sweeps it to price the
+  verify step; tests use tiny widths to force collisions.
 * ``topdown_rounds`` (default 0 = off) — hybrid top-down refinement passes
   after the bottom-up iterations (the §IV-D optimization (1); see
   :mod:`repro.core.topdown`).
@@ -51,6 +57,7 @@ class OFFSConfig:
     capacity: Optional[int] = None
     min_final_weight: int = 2
     matcher: str = "hash"
+    hash_bits: int = 64
     topdown_rounds: int = 0
     seed: int = 0
 
@@ -73,6 +80,8 @@ class OFFSConfig:
             raise ConfigError("min_final_weight must be >= 1")
         if self.matcher not in MATCHER_BACKENDS:
             raise ConfigError(f"matcher must be one of {MATCHER_BACKENDS}, got {self.matcher!r}")
+        if not 1 <= self.hash_bits <= 64:
+            raise ConfigError("hash_bits must be in [1, 64]")
         if self.topdown_rounds < 0:
             raise ConfigError("topdown_rounds must be >= 0")
 

@@ -185,7 +185,9 @@ class HashCandidates(CandidateSet):
         return f"HashCandidates(entries={len(self._weights)})"
 
 
-def static_matcher_from_table(table, backend: str = "hash") -> CandidateSet:
+def static_matcher_from_table(
+    table, backend: str = "hash", hash_bits: int = 64
+) -> CandidateSet:
     """Build a read-only-use matcher over a finished supernode table.
 
     The compressor (Algorithm 2) needs longest-prefix probes against the
@@ -194,19 +196,25 @@ def static_matcher_from_table(table, backend: str = "hash") -> CandidateSet:
 
     :param table: a :class:`~repro.core.supernode_table.SupernodeTable`.
     :param backend: ``"hash"``, ``"multilevel"``, ``"trie"`` or ``"rolling"``.
+    :param hash_bits: stored-hash width for the ``rolling`` backend.
     """
-    matcher = make_candidate_set(backend)
+    matcher = make_candidate_set(backend, hash_bits=hash_bits)
     for _, subpath in table:
         matcher.add(subpath, 0)
     return matcher
 
 
-def make_candidate_set(backend: str, alpha: int = 5) -> CandidateSet:
+def make_candidate_set(
+    backend: str, alpha: int = 5, hash_bits: int = 64
+) -> CandidateSet:
     """Factory for candidate-set backends by name.
 
     :param backend: ``"hash"``, ``"multilevel"``, ``"trie"`` or ``"rolling"``.
     :param alpha: primary-key length for the multilevel backend (ignored by
         the others).
+    :param hash_bits: stored-hash width for the rolling backend (ignored by
+        the others); output is identical at any width, only the
+        collision-verify cost changes.
     """
     if backend == "hash":
         return HashCandidates()
@@ -221,5 +229,5 @@ def make_candidate_set(backend: str, alpha: int = 5) -> CandidateSet:
     if backend == "rolling":
         from repro.core.rollhash import RollingHashCandidates
 
-        return RollingHashCandidates()
+        return RollingHashCandidates(hash_bits=hash_bits)
     raise ConfigError(f"unknown matcher backend {backend!r}")

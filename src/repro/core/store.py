@@ -41,10 +41,18 @@ class CompressedPathStore:
     ingest incrementally with :meth:`append`.
     """
 
-    def __init__(self, table: SupernodeTable, matcher_backend: str = "hash") -> None:
+    def __init__(
+        self,
+        table: SupernodeTable,
+        matcher_backend: str = "hash",
+        hash_bits: int = 64,
+    ) -> None:
         self.table = table
         self.matcher_backend = matcher_backend
-        self._matcher: CandidateSet = static_matcher_from_table(table, matcher_backend)
+        self.hash_bits = hash_bits
+        self._matcher: CandidateSet = static_matcher_from_table(
+            table, matcher_backend, hash_bits=hash_bits
+        )
         self._tokens: List[Tuple[int, ...]] = []
 
     # -- construction -------------------------------------------------------------
@@ -72,6 +80,25 @@ class CompressedPathStore:
         """
         store = cls(table, matcher_backend=matcher_backend)
         store.extend_flat(corpus)
+        return store
+
+    @classmethod
+    def from_tokens(
+        cls,
+        table: SupernodeTable,
+        tokens: Iterable[Sequence[int]],
+        matcher_backend: str = "hash",
+    ) -> "CompressedPathStore":
+        """Wrap already-compressed *tokens* in a store without recompressing.
+
+        The benchmark and ablation harnesses time compression separately and
+        then need a store over the result for the decode-side measurements;
+        re-ingesting would both double the work and pollute the ``store.*``
+        ingest counters.  The caller asserts the tokens were produced against
+        *table* — round-trip verification stays on the caller's side.
+        """
+        store = cls(table, matcher_backend=matcher_backend)
+        store._tokens.extend(tuple(token) for token in tokens)
         return store
 
     def extend_flat(self, paths: Iterable[Sequence[int]]) -> List[int]:

@@ -153,6 +153,16 @@ class SupernodeTable:
             obs.registry.counter(catalog.TABLE_EXPANSION_CACHE_HITS).inc()
         return cache
 
+    def invalidate_expansions(self) -> None:
+        """Drop the memoized expansion cache (rebuilt lazily on next use).
+
+        :meth:`add` already invalidates on mutation; this public hook exists
+        for callers that need to *measure* the cold path — the ablation
+        harness's ``expansion_cache=off`` cells and the smoke benchmark's
+        cold-vs-warm decode rows — without reaching into the private slot.
+        """
+        self._expansion_cache = None
+
     @property
     def max_subpath_length(self) -> int:
         """Length of the longest registered subpath (the effective δ)."""

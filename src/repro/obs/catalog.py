@@ -178,6 +178,19 @@ SHARD_FANOUT_SHARDS = _counter("shard.fanout.shards")
 STREAM_DRIFT_RATIO = _gauge("stream.drift_ratio")
 STREAM_DRIFTED = _counter("stream.drifted")
 
+# -- ablation harness (repro.bench.ablation) --------------------------------------
+#
+# The run-matrix executor counts every cell it measures and every cell it
+# skipped because a resumable partial-results file already contained it —
+# ``cells + cells_skipped`` therefore always equals the generated matrix
+# size, which the resume tests assert.  Per-cell wall time lands on the
+# timer so nightly runs can watch matrix cost drift.
+
+ABLATION_CELLS = _counter("ablation.cells")
+ABLATION_CELLS_SKIPPED = _counter("ablation.cells_skipped")
+ABLATION_CELL_SECONDS = _timer("ablation.cell.seconds")
+ABLATION_SECONDS = _timer("ablation.seconds")
+
 # -- supernode-expansion cache (repro.core.expansion) ----------------------------
 
 TABLE_EXPANSION_CACHE_HITS = _counter("table.expansion_cache.hits")
@@ -219,6 +232,7 @@ SPAN_STORE_OPEN = _span("store.open")
 SPAN_SHARD_BUILD = _span("shard.build")
 SPAN_SHARD_SEAL = _span("shard.seal")
 SPAN_SHARD_OPEN = _span("shard.open")
+SPAN_ABLATION_CELL = _span("ablation.cell")
 
 
 # -- queries --------------------------------------------------------------------

@@ -88,3 +88,208 @@ class TestAutotune:
     def test_point_rows(self):
         p = point(4, 2, 3.14159, 1.23456)
         assert p.as_row() == (4, 2, 3.142, 1.235)
+
+
+# -- ablation-guided mode --------------------------------------------------------
+
+
+def synthetic_report(entries, knobs=None):
+    """A minimal BENCH_ablation.json payload for override tests."""
+    return {
+        "benchmark": "ablation",
+        "schema_version": 1,
+        "knobs": knobs or [
+            {"name": "matcher", "target": "config.matcher", "requires": []},
+            {"name": "hash_bits", "target": "config.hash_bits",
+             "requires": [["config.matcher", "rolling"]]},
+            {"name": "capacity", "target": "config.capacity", "requires": []},
+            {"name": "iterations", "target": "config.iterations", "requires": []},
+            {"name": "sample_exponent", "target": "config.sample_exponent",
+             "requires": []},
+            {"name": "processes", "target": "spec.processes", "requires": []},
+        ],
+        "importance": entries,
+    }
+
+
+def entry(knob, component, importance, values=None, workload="w"):
+    return {
+        "workload": workload,
+        "knob": knob,
+        "component": component,
+        "importance": importance,
+        "values": values or {},
+    }
+
+
+class TestAblationOverrides:
+    def test_unimportant_components_are_pruned(self):
+        from repro.core.autotune import ablation_overrides
+
+        report = synthetic_report([
+            entry("iterations", "table construction", 0.5),
+            entry("capacity", "candidate capacity", 0.001),
+        ])
+        overrides, important, pruned = ablation_overrides(report, workload="w")
+        assert important == ("iterations",)
+        assert pruned == ("candidate capacity",)
+        assert overrides == {}  # the (i, k) grid owns iterations
+
+    def test_cr_improving_value_becomes_an_override(self):
+        from repro.core.autotune import ablation_overrides
+
+        report = synthetic_report([
+            entry("capacity", "candidate capacity", 0.3,
+                  {"64": {"delta_cr": 0.3, "delta_cs": 0.0},
+                   "1024": {"delta_cr": -0.1, "delta_cs": 0.5}}),
+        ])
+        overrides, _, _ = ablation_overrides(report, workload="w")
+        assert overrides == {"capacity": 64}
+
+    def test_cr_losing_values_never_override(self):
+        from repro.core.autotune import ablation_overrides
+
+        report = synthetic_report([
+            entry("capacity", "candidate capacity", 0.3,
+                  {"64": {"delta_cr": -0.3, "delta_cs": 2.0}}),
+        ])
+        overrides, _, _ = ablation_overrides(report, workload="w")
+        assert overrides == {}
+
+    def test_requires_conflict_resolved_by_importance(self):
+        from repro.core.autotune import ablation_overrides
+
+        # matcher (more important) picks "hash"; hash_bits requires the
+        # rolling backend and so must be dropped, not fight the winner.
+        report = synthetic_report([
+            entry("matcher", "matcher backend", 0.5,
+                  {"hash": {"delta_cr": 0.0, "delta_cs": 1.0}}),
+            entry("hash_bits", "matcher hashing", 0.2,
+                  {"12": {"delta_cr": 0.1, "delta_cs": 0.1}}),
+        ])
+        overrides, important, _ = ablation_overrides(report, workload="w")
+        assert overrides == {"matcher": "hash"}
+        assert set(important) == {"matcher", "hash_bits"}
+
+    def test_requires_applied_with_the_winning_value(self):
+        from repro.core.autotune import ablation_overrides
+
+        report = synthetic_report([
+            entry("hash_bits", "matcher hashing", 0.2,
+                  {"12": {"delta_cr": 0.1, "delta_cs": 0.1}}),
+        ])
+        overrides, _, _ = ablation_overrides(report, workload="w")
+        assert overrides == {"matcher": "rolling", "hash_bits": 12}
+
+    def test_unknown_workload_falls_back_to_cross_workload_max(self):
+        from repro.core.autotune import ablation_overrides
+
+        report = synthetic_report([
+            entry("capacity", "candidate capacity", 0.001, workload="a"),
+            entry("capacity", "candidate capacity", 0.4,
+                  {"64": {"delta_cr": 0.4, "delta_cs": 0.0}}, workload="b"),
+        ])
+        overrides, important, _ = ablation_overrides(report, workload="zzz")
+        assert overrides == {"capacity": 64}
+        assert important == ("capacity",)
+
+
+class TestAblationGuidedAutotune:
+    def _report(self):
+        from repro.bench.ablation import run_ablation
+
+        return run_ablation(workloads=["alibaba"], size="tiny", rounds=1)
+
+    def test_pruned_grid_shrinks_the_sweep(self):
+        from repro.core.autotune import autotune
+
+        dataset = make_dataset("alibaba", "tiny")
+        report = synthetic_report([
+            entry("capacity", "candidate capacity", 0.001, workload="alibaba"),
+            entry("iterations", "table construction", 0.5, workload="alibaba"),
+            entry("sample_exponent", "construction sampling", 0.001,
+                  workload="alibaba"),
+        ])
+        result = autotune(
+            dataset, pilot_paths=150, ablation_report=report,
+            i_values=(1, 2), k_values=(0, 1, 2),
+        )
+        # sample_exponent scored unimportant: its axis collapses to the
+        # base default, leaving len(i_values) x 1 points.
+        assert result.used_ablation
+        assert len(result.points) == 2
+        assert {p.sample_exponent for p in result.points} == {
+            OFFSConfig().sample_exponent
+        }
+        assert "construction sampling" in result.pruned_components
+
+    def test_guard_rejects_a_lying_report(self):
+        from repro.core.autotune import autotune
+        from repro.core.offs import OFFSCodec
+        from repro.analysis.metrics import measure_codec
+        from repro.paths.dataset import PathDataset
+
+        dataset = make_dataset("alibaba", "tiny")
+        # The report swears a tiny candidate capacity improved CR; on the
+        # real data it strangles the table.  The guard must catch it.
+        report = synthetic_report([
+            entry("capacity", "candidate capacity", 0.9,
+                  {"8": {"delta_cr": 0.9, "delta_cs": 0.0}},
+                  workload="alibaba"),
+        ])
+        result = autotune(
+            dataset, pilot_paths=200, ablation_report=report,
+            i_values=(4,), k_values=(2,),
+        )
+        cfg = result.best_config()
+        pilot = PathDataset(list(dataset)[:200], name="pilot")
+        best = measure_codec(OFFSCodec(cfg), pilot, verify=True)
+        default = measure_codec(
+            OFFSCodec(OFFSConfig().with_(seed=0)), pilot, verify=True
+        )
+        assert best.compression_ratio >= default.compression_ratio
+        if result.fallback_to_default:
+            assert cfg.capacity is None  # the default, not the lie
+
+    def test_recommendation_never_worse_than_default(self):
+        """Property: guided autotune holds the default's CR (seeded)."""
+        from hypothesis import given, settings, strategies as st
+        from repro.core.autotune import autotune
+        from repro.core.offs import OFFSCodec
+        from repro.analysis.metrics import measure_codec
+        from repro.paths.dataset import PathDataset
+
+        report = self._report()
+
+        @settings(max_examples=4, deadline=None)
+        @given(
+            seed=st.integers(min_value=0, max_value=3),
+            workload=st.sampled_from(["alibaba", "rome", "sanfrancisco"]),
+        )
+        def check(seed, workload):
+            dataset = make_dataset(workload, "tiny", seed=seed)
+            result = autotune(
+                dataset, pilot_paths=150, seed=seed,
+                ablation_report=report, i_values=(2, 4), k_values=(0, 2),
+            )
+            pilot = PathDataset(list(dataset)[:150], name="pilot")
+            # verify=True: the recommendation must round-trip exactly.
+            best = measure_codec(
+                OFFSCodec(result.best_config()), pilot, verify=True
+            )
+            default = measure_codec(
+                OFFSCodec(OFFSConfig().with_(seed=seed)), pilot, verify=True
+            )
+            assert best.compression_ratio >= default.compression_ratio
+
+        check()
+
+    def test_plain_autotune_unchanged_without_report(self):
+        from repro.core.autotune import autotune
+
+        dataset = make_dataset("sanfrancisco", "tiny")
+        result = autotune(dataset, pilot_paths=100)
+        assert not result.used_ablation
+        assert result.recommended_config is None
+        assert result.pruned_components == ()
+        assert result.best_config() == result.default_config()

@@ -279,3 +279,58 @@ class TestViaQuery:
         out, _ = archive
         assert main(["query", str(out), "--via", "1"]) == 1
         assert "at least" in capsys.readouterr().err
+
+
+class TestAutoCompress:
+    @pytest.fixture()
+    def report_file(self, tmp_path):
+        import json
+
+        from repro.bench.ablation import run_ablation
+
+        report = run_ablation(workloads=["alibaba"], size="tiny", rounds=1)
+        target = tmp_path / "BENCH_ablation.json"
+        target.write_text(json.dumps(report))
+        return target
+
+    def test_auto_compresses_and_round_trips(self, paths_file, tmp_path, capsys):
+        source, ds = paths_file
+        out = tmp_path / "auto.offs"
+        assert main(["compress", str(source), str(out), "--auto",
+                     "--auto-pilot", "30"]) == 0
+        err = capsys.readouterr().err
+        assert "autotuned:" in err
+        restored = tmp_path / "restored.txt"
+        assert main(["decompress", str(out), str(restored)]) == 0
+        assert load_text(restored) == ds
+
+    def test_auto_with_ablation_report(self, paths_file, report_file,
+                                       tmp_path, capsys):
+        source, ds = paths_file
+        out = tmp_path / "auto.offs"
+        assert main(["compress", str(source), str(out), "--auto",
+                     "--ablation-report", str(report_file),
+                     "--auto-pilot", "30"]) == 0
+        assert "ablation-guided" in capsys.readouterr().err
+        restored = tmp_path / "restored.txt"
+        assert main(["decompress", str(out), str(restored)]) == 0
+        assert load_text(restored) == ds
+
+    def test_report_without_auto_rejected(self, paths_file, tmp_path, capsys):
+        source, _ = paths_file
+        assert main(["compress", str(source), str(tmp_path / "x.offs"),
+                     "--ablation-report", "whatever.json"]) == 1
+        assert "requires --auto" in capsys.readouterr().err
+
+    def test_missing_report_file_errors(self, paths_file, tmp_path, capsys):
+        source, _ = paths_file
+        assert main(["compress", str(source), str(tmp_path / "x.offs"),
+                     "--auto", "--ablation-report",
+                     str(tmp_path / "nope.json")]) == 1
+
+    def test_tune_with_report_prints_recommendation(self, paths_file,
+                                                    report_file, capsys):
+        source, _ = paths_file
+        assert main(["tune", str(source), "--pilot", "30",
+                     "--ablation-report", str(report_file)]) == 0
+        assert "recommended (ablation-guided)" in capsys.readouterr().out
