@@ -1,6 +1,6 @@
 # Convenience targets for the OFFS reproduction.
 
-.PHONY: install test lint lint-changed bench bench-quick bench-smoke bench-serve bench-shard bench-ablation bench-ablation-quick bench-check examples experiments clean
+.PHONY: install test lint lint-changed bench bench-quick bench-smoke bench-serve bench-shard bench-ablation bench-ablation-quick bench-reorder bench-check examples experiments clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -54,13 +54,19 @@ bench-ablation:
 bench-ablation-quick:
 	PYTHONPATH=src python benchmarks/bench_ablation.py --size tiny --rounds 1 --out BENCH_ablation.json
 
+# Vertex-reordering grid: every ordering strategy on every workload (CR /
+# CS / DS / PDS plus varint bytes saved), each cell round-trip verified
+# through a mapped v2 archive.  The deterministic keys gate in bench-check.
+bench-reorder:
+	PYTHONPATH=src python benchmarks/bench_reorder.py --size tiny --out BENCH_reorder.json
+
 # Bench-regression gate: diff the fresh smoke/decode JSONs against the
 # committed baselines (benchmarks/baselines/).  Correctness-derived metrics
 # (round-trip flags, CR, byte sizes) must match exactly; timings only warn
 # inside the tolerance band.  CI runs this inside the bench(smoke) job.
 bench-check:
 	python tools/bench_compare.py --baseline-dir benchmarks/baselines \
-		--format gha BENCH_smoke.json BENCH_decode.json
+		--format gha BENCH_smoke.json BENCH_decode.json BENCH_reorder.json
 
 experiments:
 	python -m repro.bench --size medium --out experiments_report.txt

@@ -12,6 +12,9 @@ The operational surface a deployment needs, over the text/binary formats of
   ``--auto`` tunes the config on a pilot sample first and compresses with
   the pick; add ``--ablation-report BENCH_ablation.json`` to prune the
   search with measured component importance (see docs/ablation.md).
+  ``--reorder frequency|bfs|locality`` fits a compression-aware vertex
+  order first; the invertible mapping persists inside the v2/sharded
+  archive and every reader keeps answering in original ids.
 * ``python -m repro decompress IN.offs OUT.paths`` — restore the text file.
 * ``python -m repro stats IN.offs`` — archive health without decompression.
 * ``python -m repro retrieve IN.offs --id 42`` — fetch single paths;
@@ -50,6 +53,7 @@ non-zero with a one-line message on stderr.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from contextlib import nullcontext
 from typing import List, Optional
@@ -60,6 +64,7 @@ from repro.core.offs import OFFSCodec
 from repro.core.serialize import dumps_store
 from repro.core.store import CompressedPathStore
 from repro.paths.io import load_text, save_text
+from repro.paths.reorder import ORDER_STRATEGIES
 from repro.paths.dataset import PathDataset
 from repro.queries.analytics import compression_summary, hot_subpaths
 from repro.queries.retrieval import PathQueryEngine
@@ -127,6 +132,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--partition", choices=("range", "hash"), default="range",
                    help="shard placement: contiguous id ranges (default) or "
                         "modulo interleaving (with --shards)")
+    p.add_argument("--reorder", choices=ORDER_STRATEGIES, default="identity",
+                   help="compression-aware vertex reordering; non-identity "
+                        "orders persist in the archive (v2/sharded only) and "
+                        "queries still speak original ids (see docs/tuning.md)")
     p.add_argument("--auto", action="store_true",
                    help="autotune (i, k) on a pilot sample of the input and "
                         "compress with the pick (explicit knob flags become "
@@ -241,7 +250,12 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         beta=args.beta,
         topdown_rounds=args.topdown_rounds,
         matcher=args.backend,
+        reorder=args.reorder,
     )
+    if args.reorder != "identity" and args.fmt == "v1" and args.shards == 0:
+        print("error: --reorder requires --format v2 or --shards "
+              "(the v1 blob cannot persist an order table)", file=sys.stderr)
+        return 1
     if args.ablation_report and not args.auto:
         print("error: --ablation-report requires --auto", file=sys.stderr)
         return 1
@@ -255,12 +269,19 @@ def _cmd_compress(args: argparse.Namespace) -> int:
             ablation_report=_load_ablation_report(args.ablation_report),
         )
         config = result.best_config(base=config)
+        if config.reorder != "identity" and args.fmt == "v1" and args.shards == 0:
+            # An autotuned pick (unlike an explicit flag) degrades gracefully:
+            # the v1 blob cannot persist an order table, so drop the order.
+            print(f"note: dropping autotuned reorder={config.reorder} "
+                  f"(v1 format cannot persist an order table)", file=sys.stderr)
+            config = dataclasses.replace(config, reorder="identity")
         note = ""
         if result.used_ablation:
             note = " (ablation-guided"
             note += ", guard fell back to default)" if result.fallback_to_default else ")"
         print(f"autotuned: i={config.iterations} k={config.sample_exponent} "
-              f"matcher={config.matcher}{note}", file=sys.stderr)
+              f"matcher={config.matcher} reorder={config.reorder}{note}",
+              file=sys.stderr)
     corpus = dataset.to_flat()
     with _metrics_scope(args) as obs:
         codec = OFFSCodec(config).fit(corpus)
@@ -275,6 +296,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
                 processes=args.processes,
                 partition=args.partition,
                 backend=args.backend,
+                order=codec.order,
             )
             sharded = ShardedPathStore.open(args.output)
             print(f"{len(sharded):,} paths -> {args.output} "
@@ -286,7 +308,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
             _write_metrics(args, obs)
             return 0
         store = CompressedPathStore.from_corpus(
-            corpus, codec.table, matcher_backend=args.backend
+            corpus, codec.table, matcher_backend=args.backend, order=codec.order
         )
         ratio = store.compression_ratio()
         if args.fmt == "v2":

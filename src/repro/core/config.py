@@ -33,6 +33,13 @@ The paper's tunables, with its deployed defaults (Section VI-A):
 * ``topdown_rounds`` (default 0 = off) — hybrid top-down refinement passes
   after the bottom-up iterations (the §IV-D optimization (1); see
   :mod:`repro.core.topdown`).
+* ``reorder`` (default ``"identity"`` = off) — compression-aware vertex
+  reordering strategy applied before table construction
+  (:mod:`repro.paths.reorder`): ``frequency`` gives the hottest vertices
+  the smallest ids (cheapest varints), ``bfs`` / ``locality`` additionally
+  cluster co-occurring vertices.  The codec fits the order alongside the
+  table and stores invert it on retrieval, so callers always see original
+  ids.
 """
 
 from __future__ import annotations
@@ -59,6 +66,7 @@ class OFFSConfig:
     matcher: str = "hash"
     hash_bits: int = 64
     topdown_rounds: int = 0
+    reorder: str = "identity"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -84,6 +92,15 @@ class OFFSConfig:
             raise ConfigError("hash_bits must be in [1, 64]")
         if self.topdown_rounds < 0:
             raise ConfigError("topdown_rounds must be >= 0")
+        if self.reorder != "identity":
+            # Imported lazily: repro.paths.reorder pulls in the paths
+            # package, which this module must not require at import time.
+            from repro.paths.reorder import ORDER_STRATEGIES
+
+            if self.reorder not in ORDER_STRATEGIES:
+                raise ConfigError(
+                    f"reorder must be one of {ORDER_STRATEGIES}, got {self.reorder!r}"
+                )
 
     @property
     def sample_stride(self) -> int:

@@ -43,6 +43,7 @@ from repro.core.serialize import (
     StoreV2Header,
     _read_varint,
     loads_table,
+    parse_order_section,
     parse_store_v2_header,
 )
 from repro.obs import catalog
@@ -67,6 +68,8 @@ class MappedPathStore:
         self._header: StoreV2Header = parse_store_v2_header(buffer)
         self._table = None
         self._index = None
+        self._order = None
+        self._order_loaded = not self._header.has_order
         obs = get_active()
         if obs is not None:
             obs.registry.set_gauge(catalog.STORE_MAPPED_BYTES, len(buffer))
@@ -229,6 +232,26 @@ class MappedPathStore:
             self._table = table
         return self._table
 
+    @property
+    def order(self):
+        """The persisted :class:`~repro.paths.reorder.VertexOrder`, or ``None``.
+
+        Decoded (and CRC-checked) on first access — opening an ordered
+        file still costs only the 64-byte header.  ``None`` means the
+        payload is in original ids and retrieval skips inversion.
+        """
+        if not self._order_loaded:
+            self._order = parse_order_section(self._buf, self._header)
+            self._order_loaded = True
+        return self._order
+
+    def _restore(self, path: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Invert the vertex order on an outgoing path (no-op when unordered)."""
+        order = self.order
+        if order is None:
+            return path
+        return order.invert_path(path)
+
     def _offsets(self):
         """The raw u64 offset index as a zero-copy memoryview cast."""
         if self._index is None:
@@ -280,9 +303,9 @@ class MappedPathStore:
         self._check_id(path_id)
         obs = get_active()
         if obs is None:
-            return decompress_path(self.token(path_id), self.table)
+            return self._restore(decompress_path(self.token(path_id), self.table))
         with obs.registry.timeit(catalog.STORE_RETRIEVE_SECONDS):
-            path = decompress_path(self.token(path_id), self.table)
+            path = self._restore(decompress_path(self.token(path_id), self.table))
         obs.registry.counter(catalog.STORE_RETRIEVED_PATHS).inc()
         return path
 
@@ -300,13 +323,13 @@ class MappedPathStore:
         self._check_id(path_id)
         obs = get_active()
         if obs is None:
-            return slice_token(
+            return self._restore(slice_token(
                 self.token(path_id), self.table.expansions(), start, stop
-            )
+            ))
         with obs.registry.timeit(catalog.STORE_RETRIEVE_SLICE_SECONDS):
-            out = slice_token(
+            out = self._restore(slice_token(
                 self.token(path_id), self.table.expansions(), start, stop
-            )
+            ))
         obs.registry.counter(catalog.STORE_RETRIEVED_SLICES).inc()
         return out
 
@@ -341,9 +364,9 @@ class MappedPathStore:
         tokens = [self.token(pid) for pid in ids]
         obs = get_active()
         if obs is None:
-            return decompress_paths_flat(tokens, self.table)
+            return self._restore_all(decompress_paths_flat(tokens, self.table))
         with obs.registry.timeit(catalog.STORE_RETRIEVE_SECONDS):
-            out = decompress_paths_flat(tokens, self.table)
+            out = self._restore_all(decompress_paths_flat(tokens, self.table))
         obs.registry.counter(catalog.STORE_RETRIEVED_PATHS).inc(len(ids))
         return out
 
@@ -351,19 +374,33 @@ class MappedPathStore:
         """Decompress the full archive through the flat batch kernel."""
         from repro.core.compressor import decompress_paths_flat
 
-        return decompress_paths_flat(self.tokens(), self.table)
+        return self._restore_all(decompress_paths_flat(self.tokens(), self.table))
+
+    def _restore_all(self, paths: List[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
+        """Invert the vertex order over a batch (no-op when unordered)."""
+        order = self.order
+        if order is None:
+            return paths
+        invert = order.invert_path
+        return [invert(p) for p in paths]
 
     def __iter__(self) -> Iterator[Tuple[int, ...]]:
         from repro.core.compressor import decompress_path
 
         table = self.table
-        return (decompress_path(self.token(pid), table) for pid in range(len(self)))
+        restore = self._restore
+        return (
+            restore(decompress_path(self.token(pid), table))
+            for pid in range(len(self))
+        )
 
     def to_store(self, matcher_backend: str = "hash"):
         """Materialize a fully in-memory :class:`CompressedPathStore` copy."""
         from repro.core.store import CompressedPathStore
 
-        store = CompressedPathStore(self.table, matcher_backend=matcher_backend)
+        store = CompressedPathStore(
+            self.table, matcher_backend=matcher_backend, order=self.order
+        )
         store._tokens.extend(self.tokens())
         return store
 
@@ -382,6 +419,9 @@ class MappedPathStore:
         total = encoding.size_of_value(table.base_id)
         for _, subpath in table:
             total += encoding.size_of_value(len(subpath)) + encoding.size_of(subpath)
+        order = self.order
+        if order is not None:
+            total += order.size_bytes(encoding)
         for token in self.tokens():
             total += encoding.size_of_value(len(token)) + encoding.size_of(token)
         return total

@@ -17,7 +17,12 @@ inconsistency):
   blob, a fixed-width per-path offset index, then the varint token
   payload.  Designed for :class:`~repro.core.mapped.MappedPathStore`:
   open cost is the header alone (milliseconds on multi-GB archives), any
-  path's tokens are an O(1) seek, and the table decodes lazily.  See
+  path's tokens are an O(1) seek, and the table decodes lazily.  A header
+  flag bit marks an optional trailing **order-table section** (magic
+  ``RPOT``, own length + CRC32) persisting the
+  :class:`~repro.paths.reorder.VertexOrder` the payload was written
+  under; files without the flag are byte-identical to pre-flag files, so
+  old readers of unordered stores are unaffected.  See
   ``docs/formats.md`` for the byte-level diagram.
 
 Varints are used on disk regardless of the in-memory size model; frequent
@@ -31,7 +36,12 @@ import struct
 import zlib
 from typing import List, Tuple
 
-from repro.core.errors import CorruptDataError, TableError, TruncatedDataError
+from repro.core.errors import (
+    CorruptDataError,
+    InvalidInputError,
+    TableError,
+    TruncatedDataError,
+)
 from repro.core.store import CompressedPathStore
 from repro.core.supernode_table import SupernodeTable
 from repro.paths.encoding import VarintEncoding
@@ -45,10 +55,21 @@ _VARINT = VarintEncoding()
 #: u64 offset index, varint token payload.
 STORE_V2_MAGIC = b"RPC2"
 STORE_V2_VERSION = 2
-#: ``<`` magic(4) version(B) pad(3x) path_count(Q) table_off(Q) table_size(Q)
-#: index_off(Q) payload_off(Q) payload_size(Q) meta_crc(I) header_crc(I)
-STORE_V2_HEADER = struct.Struct("<4sB3xQQQQQQII")
+#: ``<`` magic(4) version(B) flags(B) pad(2x) path_count(Q) table_off(Q)
+#: table_size(Q) index_off(Q) payload_off(Q) payload_size(Q) meta_crc(I)
+#: header_crc(I).  The flags byte occupies what used to be the first pad
+#: byte — pre-flag writers always emitted 0 there, so every unordered file
+#: parses identically under both readings.
+STORE_V2_HEADER = struct.Struct("<4sBB2xQQQQQQII")
 STORE_V2_HEADER_SIZE = STORE_V2_HEADER.size  # 64 bytes
+
+#: Header flag: an order-table section (``RPOT``) follows the payload.
+STORE_V2_FLAG_ORDER = 0x01
+_STORE_V2_KNOWN_FLAGS = STORE_V2_FLAG_ORDER
+
+#: Order-table section framing: magic(4) body_len(I) body_crc(I) body.
+ORDER_SECTION_MAGIC = b"RPOT"
+_ORDER_SECTION_PREFIX = struct.Struct("<4sII")
 
 
 def dumps_table(table: SupernodeTable) -> bytes:
@@ -92,7 +113,18 @@ def loads_table(data: bytes) -> Tuple[SupernodeTable, int]:
 
 
 def dumps_store(store: CompressedPathStore) -> bytes:
-    """Serialize a compressed store (table + all tokens) to bytes."""
+    """Serialize a compressed store (table + all tokens) to bytes.
+
+    The v1 blob has no order-table section, so a store holding a vertex
+    reordering cannot round-trip through it — the reordered payload would
+    silently decode to wrong ids.  Such stores must use the v2 layout
+    (:func:`dumps_store_v2`); asking for v1 raises eagerly.
+    """
+    if getattr(store, "order", None) is not None:
+        raise InvalidInputError(
+            "v1 store blobs cannot persist a vertex order; "
+            "write reordered stores with dumps_store_v2"
+        )
     payload = bytearray()
     payload += dumps_table(store.table)
     payload += struct.pack("<I", len(store))
@@ -158,10 +190,12 @@ class StoreV2Header:
     __slots__ = (
         "path_count", "table_offset", "table_size",
         "index_offset", "payload_offset", "payload_size", "meta_crc",
+        "flags", "order_body_size", "order_body_crc",
     )
 
     def __init__(self, path_count, table_offset, table_size,
-                 index_offset, payload_offset, payload_size, meta_crc):
+                 index_offset, payload_offset, payload_size, meta_crc,
+                 flags=0, order_body_size=0, order_body_crc=0):
         self.path_count = path_count
         self.table_offset = table_offset
         self.table_size = table_size
@@ -169,6 +203,9 @@ class StoreV2Header:
         self.payload_offset = payload_offset
         self.payload_size = payload_size
         self.meta_crc = meta_crc
+        self.flags = flags
+        self.order_body_size = order_body_size
+        self.order_body_crc = order_body_crc
 
     @property
     def index_size(self) -> int:
@@ -176,7 +213,25 @@ class StoreV2Header:
 
     @property
     def total_size(self) -> int:
+        """End of the payload — also where the order section starts, if any."""
         return self.payload_offset + self.payload_size
+
+    @property
+    def has_order(self) -> bool:
+        """Whether an order-table section follows the payload."""
+        return bool(self.flags & STORE_V2_FLAG_ORDER)
+
+    @property
+    def order_body_offset(self) -> int:
+        """Byte offset of the order-table *body* (past the section prefix)."""
+        return self.total_size + _ORDER_SECTION_PREFIX.size
+
+    @property
+    def file_size(self) -> int:
+        """Total file size including any order-table section."""
+        if not self.has_order:
+            return self.total_size
+        return self.order_body_offset + self.order_body_size
 
 
 def dumps_store_v2(store: CompressedPathStore) -> bytes:
@@ -187,12 +242,16 @@ def dumps_store_v2(store: CompressedPathStore) -> bytes:
     path's symbols as bare varints (the offset index delimits paths, so no
     per-token length prefix is written).  The header CRC covers the header;
     ``meta_crc`` covers table + index, so all *structural* metadata is
-    checksummed without forcing a full-payload read at open time.
+    checksummed without forcing a full-payload read at open time.  A store
+    carrying a vertex order additionally gets the flagged ``RPOT``
+    trailing section so readers can invert ids on retrieval.
     """
-    return dumps_store_v2_tokens(store.table, store.tokens())
+    return dumps_store_v2_tokens(
+        store.table, store.tokens(), order=getattr(store, "order", None)
+    )
 
 
-def dumps_store_v2_tokens(table: SupernodeTable, tokens) -> bytes:
+def dumps_store_v2_tokens(table: SupernodeTable, tokens, order=None) -> bytes:
     """The v2 blob for a bare ``(table, tokens)`` pair.
 
     Byte-identical to :func:`dumps_store_v2` over a store holding the same
@@ -201,6 +260,12 @@ def dumps_store_v2_tokens(table: SupernodeTable, tokens) -> bytes:
     wrapping them in a throwaway :class:`CompressedPathStore` would rebuild
     the matcher (hash table over every table entry) once per shard for no
     reason.
+
+    *order*, when given, is the :class:`~repro.paths.reorder.VertexOrder`
+    the tokens were compressed under (tokens are already in new-id space);
+    it is persisted as the trailing order-table section and the header
+    flag is set.  ``None`` produces a byte-identical blob to the pre-flag
+    format.
     """
     table_blob = dumps_table(table)
     payload = bytearray()
@@ -210,18 +275,118 @@ def dumps_store_v2_tokens(table: SupernodeTable, tokens) -> bytes:
         payload += _VARINT.encode(token)
         index += struct.pack("<Q", len(payload))
         count += 1
+    flags = STORE_V2_FLAG_ORDER if order is not None else 0
     table_offset = STORE_V2_HEADER_SIZE
     index_offset = table_offset + len(table_blob)
     payload_offset = index_offset + len(index)
     meta_crc = zlib.crc32(bytes(table_blob + bytes(index)))
     header = STORE_V2_HEADER.pack(
-        STORE_V2_MAGIC, STORE_V2_VERSION, count, table_offset,
+        STORE_V2_MAGIC, STORE_V2_VERSION, flags, count, table_offset,
         len(table_blob), index_offset, payload_offset, len(payload),
         meta_crc, 0,
     )
     header_crc = zlib.crc32(header[:-4])
     header = header[:-4] + struct.pack("<I", header_crc)
-    return header + table_blob + bytes(index) + bytes(payload)
+    blob = header + table_blob + bytes(index) + bytes(payload)
+    if order is not None:
+        blob += dumps_order_section(order)
+    return blob
+
+
+def dumps_order_section(order) -> bytes:
+    """Frame a :class:`~repro.paths.reorder.VertexOrder` as an RPOT section.
+
+    Layout: magic ``RPOT``, u32 body length, u32 CRC32 of the body, then
+    the body (:meth:`VertexOrder.to_bytes`).  The section is self-delimited
+    so the header only needs one flag bit to announce it.
+    """
+    body = order.to_bytes()
+    return _ORDER_SECTION_PREFIX.pack(
+        ORDER_SECTION_MAGIC, len(body), zlib.crc32(body)
+    ) + body
+
+
+def loads_order_section(data: bytes):
+    """Decode a standalone RPOT section back into its ``VertexOrder``.
+
+    The exact inverse of :func:`dumps_order_section`: validates the magic,
+    the declared body length and the body CRC32, then decodes the body.
+    Raises :class:`CorruptDataError` / :class:`TruncatedDataError` on a
+    damaged frame.  Readers of whole v2 files use
+    :func:`parse_order_section` instead, which locates the section via the
+    header; this function round-trips the framed bytes on their own.
+    """
+    if len(data) < _ORDER_SECTION_PREFIX.size:
+        raise TruncatedDataError(
+            f"order-table section needs at least {_ORDER_SECTION_PREFIX.size}"
+            f" bytes, got {len(data)}"
+        )
+    magic, body_size, body_crc = _ORDER_SECTION_PREFIX.unpack_from(data, 0)
+    if magic != ORDER_SECTION_MAGIC:
+        raise CorruptDataError(
+            f"bad order-table magic {magic!r} (expected {ORDER_SECTION_MAGIC!r})"
+        )
+    body = bytes(data[_ORDER_SECTION_PREFIX.size:_ORDER_SECTION_PREFIX.size
+                      + body_size])
+    if len(body) != body_size:
+        raise TruncatedDataError(
+            f"order-table body declares {body_size} bytes but only"
+            f" {len(body)} are present"
+        )
+    if len(data) != _ORDER_SECTION_PREFIX.size + body_size:
+        raise CorruptDataError(
+            f"{len(data) - _ORDER_SECTION_PREFIX.size - body_size}"
+            " trailing bytes after the order-table body"
+        )
+    if zlib.crc32(body) != body_crc:
+        raise CorruptDataError("order-table checksum mismatch")
+    from repro.paths.reorder import VertexOrder
+
+    return VertexOrder.from_bytes(body)
+
+
+def append_order_section(blob: bytes, order) -> bytes:
+    """Stamp a finished (unordered) v2 *blob* with *order*'s section.
+
+    Sets the header flag, recomputes the header CRC, and appends the
+    framed section — the sharded build path uses this so worker processes
+    can keep producing plain blobs while the coordinator applies the
+    store-wide order once per shard.  ``order=None`` returns *blob*
+    unchanged.
+    """
+    if order is None:
+        return blob
+    header = parse_store_v2_header(blob)
+    if header.has_order:
+        raise InvalidInputError("v2 blob already carries an order-table section")
+    flagged = bytearray(blob[:STORE_V2_HEADER_SIZE])
+    flagged[5] |= STORE_V2_FLAG_ORDER
+    header_crc = zlib.crc32(bytes(flagged[:-4]))
+    flagged[-4:] = struct.pack("<I", header_crc)
+    return bytes(flagged) + blob[STORE_V2_HEADER_SIZE:] + dumps_order_section(order)
+
+
+def parse_order_section(data, header: StoreV2Header):
+    """Decode the order-table section *header* declares inside *data*.
+
+    Returns the :class:`~repro.paths.reorder.VertexOrder`, or ``None``
+    when the header carries no order flag.  The body CRC is verified here
+    — readers call this lazily on first inversion, keeping open cost at
+    the 64-byte header even for ordered files.
+    """
+    if not header.has_order:
+        return None
+    from repro.paths.reorder import VertexOrder
+
+    body = bytes(data[header.order_body_offset:header.order_body_offset
+                      + header.order_body_size])
+    if len(body) != header.order_body_size:
+        raise TruncatedDataError(
+            f"order-table body truncated at byte offset {header.order_body_offset}"
+        )
+    if zlib.crc32(body) != header.order_body_crc:
+        raise CorruptDataError("order-table checksum mismatch (file is corrupt)")
+    return VertexOrder.from_bytes(body)
 
 
 def loads_store_v2(data: bytes):
@@ -262,7 +427,7 @@ def parse_store_v2_header(data) -> StoreV2Header:
             f"buffer has {size}"
         )
     header = bytes(data[:STORE_V2_HEADER_SIZE])
-    (magic, version, path_count, table_offset, table_size, index_offset,
+    (magic, version, flags, path_count, table_offset, table_size, index_offset,
      payload_offset, payload_size, meta_crc, header_crc) = STORE_V2_HEADER.unpack(header)
     if magic != STORE_V2_MAGIC:
         raise CorruptDataError("not a v2 store file (bad magic)")
@@ -270,9 +435,13 @@ def parse_store_v2_header(data) -> StoreV2Header:
         raise CorruptDataError(f"unsupported v2 store version {version}")
     if zlib.crc32(header[:-4]) != header_crc:
         raise CorruptDataError("v2 header checksum mismatch (file is corrupt)")
+    if flags & ~_STORE_V2_KNOWN_FLAGS:
+        raise CorruptDataError(
+            f"v2 store sets unknown flag bits 0x{flags & ~_STORE_V2_KNOWN_FLAGS:02x}"
+        )
     parsed = StoreV2Header(
         path_count, table_offset, table_size, index_offset,
-        payload_offset, payload_size, meta_crc,
+        payload_offset, payload_size, meta_crc, flags=flags,
     )
     if table_offset != STORE_V2_HEADER_SIZE:
         raise CorruptDataError(f"v2 table section at unexpected offset {table_offset}")
@@ -280,10 +449,34 @@ def parse_store_v2_header(data) -> StoreV2Header:
         raise CorruptDataError("v2 index section does not follow the table")
     if payload_offset != index_offset + parsed.index_size:
         raise CorruptDataError("v2 payload section does not follow the index")
-    if parsed.total_size != size:
+    if not parsed.has_order:
+        if parsed.total_size != size:
+            raise TruncatedDataError(
+                f"v2 store declares {parsed.total_size} bytes but buffer has "
+                f"{size} (truncated or padded at byte offset {min(parsed.total_size, size)})"
+            )
+        return parsed
+    # Order flag set: the RPOT section must exactly tile the remainder.
+    # Its magic and declared length are validated eagerly here (cheap —
+    # 12 bytes); the body CRC is deferred to parse_order_section so open
+    # cost stays at the header even for ordered files.
+    prefix_end = parsed.total_size + _ORDER_SECTION_PREFIX.size
+    if size < prefix_end:
         raise TruncatedDataError(
-            f"v2 store declares {parsed.total_size} bytes but buffer has "
-            f"{size} (truncated or padded at byte offset {min(parsed.total_size, size)})"
+            f"v2 store declares an order-table section at byte offset "
+            f"{parsed.total_size} but the buffer ends at {size}"
+        )
+    order_magic, body_size, body_crc = _ORDER_SECTION_PREFIX.unpack_from(
+        bytes(data[parsed.total_size:prefix_end])
+    )
+    if order_magic != ORDER_SECTION_MAGIC:
+        raise CorruptDataError("order-table section has a bad magic")
+    parsed.order_body_size = body_size
+    parsed.order_body_crc = body_crc
+    if parsed.file_size != size:
+        raise TruncatedDataError(
+            f"v2 store declares {parsed.file_size} bytes (payload + order "
+            f"table) but buffer has {size}"
         )
     return parsed
 

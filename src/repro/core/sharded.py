@@ -472,6 +472,20 @@ class ShardedPathStore:
             raise StateError("empty sharded store has no table")
         return self.shard(0).table
 
+    @property
+    def order(self):
+        """The store-wide :class:`~repro.paths.reorder.VertexOrder`, or ``None``.
+
+        Every shard of a reordered store carries the same order section
+        (``build_sharded_store`` stamps one order across all shards), so
+        the first shard's answer is the store's answer.  Retrieval never
+        consults this — each shard inverts its own ids — it exists for
+        stats surfaces and size accounting.
+        """
+        if not self.manifest.shards:
+            return None
+        return self.shard(0).order
+
     # -- retrieval ----------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -670,6 +684,10 @@ class ShardedPathStore:
                 total += encoding.size_of_value(table.base_id)
                 for _, subpath in table:
                     total += encoding.size_of_value(len(subpath)) + encoding.size_of(subpath)
+                # The order rides with the table: one copy per distinct
+                # fingerprint, matching the monolithic store's accounting.
+                if shard.order is not None:
+                    total += shard.order.size_bytes(encoding)
             for token in shard.tokens():
                 total += encoding.size_of_value(len(token)) + encoding.size_of(token)
         return total
@@ -790,6 +808,7 @@ def build_sharded_store(
     processes: int = 1,
     partition: str = PARTITION_RANGE,
     backend: str = "rolling",
+    order=None,
 ) -> str:
     """Compress *paths* against *table* into a sharded store at *out_path*.
 
@@ -801,23 +820,35 @@ def build_sharded_store(
     build for every ``(partition, shards, processes)`` combination, because
     compression is a pure per-path function of ``(path, table)``.
 
-    :param paths: any path iterable or a :class:`FlatCorpus`.
-    :param table: the (already built) shared supernode table.
+    :param paths: any path iterable or a :class:`FlatCorpus` — in
+        *original* vertex ids; the order (if any) is applied here.
+    :param table: the (already built) shared supernode table — built over
+        the *reordered* corpus when *order* is given.
     :param out_path: manifest file to write; shard files land beside it as
         ``<stem>.shard-00000.rpc2`` etc.
+    :param order: optional :class:`~repro.paths.reorder.VertexOrder`.  The
+        corpus is relabelled before partitioning, and every shard blob is
+        stamped with the order section
+        (:func:`~repro.core.serialize.append_order_section`) so each shard
+        file stays self-contained — a shard opened on its own inverts ids
+        exactly like the manifest-routed store does.
     :returns: *out_path*, for chaining into :meth:`ShardedPathStore.open`.
     """
     from repro.core.parallel import compress_corpora
 
     corpus = as_flat_corpus(paths)
+    if order is not None:
+        corpus = order.transform_corpus(corpus)
     obs = get_active()
     if obs is None:
-        return _build_sharded(corpus, table, out_path, shards, processes, partition, backend)
+        return _build_sharded(
+            corpus, table, out_path, shards, processes, partition, backend, order
+        )
     with obs.tracer.span(catalog.SPAN_SHARD_BUILD) as span, obs.registry.timeit(
         catalog.SHARD_BUILD_SECONDS
     ):
         manifest_path = _build_sharded(
-            corpus, table, out_path, shards, processes, partition, backend
+            corpus, table, out_path, shards, processes, partition, backend, order
         )
         if span is not None:
             span.add("shards", shards)
@@ -835,8 +866,10 @@ def _build_sharded(
     processes: int,
     partition: str,
     backend: str,
+    order=None,
 ) -> str:
     from repro.core.parallel import _compress_corpora_blobs
+    from repro.core.serialize import append_order_section
 
     parts = partition_corpus(corpus, shards, partition)
     blobs = _compress_corpora_blobs(parts, table, processes=processes, backend=backend)
@@ -847,6 +880,9 @@ def _build_sharded(
     start = 0
     for index, (blob, count) in enumerate(blobs):
         filename = shard_filename(stem, index)
+        # Workers ship plain (unordered) blobs; the coordinator stamps the
+        # store-wide order on each so shard files stay self-contained.
+        blob = append_order_section(blob, order)
         _write_file_atomic(os.path.join(directory, filename), blob)
         infos.append(
             ShardInfo(

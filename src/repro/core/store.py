@@ -35,6 +35,11 @@ class CompressedPathStore:
     :param matcher_backend: longest-match backend for ingestion (``"hash"``,
         ``"multilevel"``, ``"trie"`` or ``"rolling"``); output is identical
         across backends, only probe cost differs.
+    :param order: optional :class:`~repro.paths.reorder.VertexOrder` the
+        table was built under.  With an order, ingestion relabels incoming
+        paths (original → new ids) and every retrieval surface inverts, so
+        callers always speak original ids; ``token()`` stays raw (new-id
+        space), matching what the table expands to.
 
     Build one with :meth:`from_dataset` (fits nothing — bring a trained
     table or codec), bulk-ingest a flat corpus with :meth:`from_corpus`, or
@@ -46,10 +51,12 @@ class CompressedPathStore:
         table: SupernodeTable,
         matcher_backend: str = "hash",
         hash_bits: int = 64,
+        order=None,
     ) -> None:
         self.table = table
         self.matcher_backend = matcher_backend
         self.hash_bits = hash_bits
+        self.order = order
         self._matcher: CandidateSet = static_matcher_from_table(
             table, matcher_backend, hash_bits=hash_bits
         )
@@ -59,16 +66,18 @@ class CompressedPathStore:
 
     @classmethod
     def from_dataset(
-        cls, dataset, table: SupernodeTable, matcher_backend: str = "hash"
+        cls, dataset, table: SupernodeTable, matcher_backend: str = "hash",
+        order=None,
     ) -> "CompressedPathStore":
         """Compress every path of *dataset* into a new store."""
-        store = cls(table, matcher_backend=matcher_backend)
+        store = cls(table, matcher_backend=matcher_backend, order=order)
         store.extend(dataset)
         return store
 
     @classmethod
     def from_corpus(
-        cls, corpus, table: SupernodeTable, matcher_backend: str = "rolling"
+        cls, corpus, table: SupernodeTable, matcher_backend: str = "rolling",
+        order=None,
     ) -> "CompressedPathStore":
         """Bulk-ingest a :class:`~repro.core.flatcorpus.FlatCorpus` (or any
         path iterable) through the batch compression entry point.
@@ -78,7 +87,7 @@ class CompressedPathStore:
         call (vectorized with the default ``rolling`` backend) instead of a
         per-path loop.
         """
-        store = cls(table, matcher_backend=matcher_backend)
+        store = cls(table, matcher_backend=matcher_backend, order=order)
         store.extend_flat(corpus)
         return store
 
@@ -88,6 +97,7 @@ class CompressedPathStore:
         table: SupernodeTable,
         tokens: Iterable[Sequence[int]],
         matcher_backend: str = "hash",
+        order=None,
     ) -> "CompressedPathStore":
         """Wrap already-compressed *tokens* in a store without recompressing.
 
@@ -95,9 +105,10 @@ class CompressedPathStore:
         then need a store over the result for the decode-side measurements;
         re-ingesting would both double the work and pollute the ``store.*``
         ingest counters.  The caller asserts the tokens were produced against
-        *table* — round-trip verification stays on the caller's side.
+        *table* — and, when *order* is given, in new-id space under that
+        order — round-trip verification stays on the caller's side.
         """
-        store = cls(table, matcher_backend=matcher_backend)
+        store = cls(table, matcher_backend=matcher_backend, order=order)
         store._tokens.extend(tuple(token) for token in tokens)
         return store
 
@@ -113,6 +124,8 @@ class CompressedPathStore:
         from repro.core.flatcorpus import as_flat_corpus
 
         corpus = as_flat_corpus(paths)
+        if self.order is not None:
+            corpus = self.order.transform_corpus(corpus)
         first_id = len(self._tokens)
         obs = get_active()
         if obs is None:
@@ -140,15 +153,21 @@ class CompressedPathStore:
         """Fit *codec* on *dataset* and ingest the whole dataset.
 
         *codec* must be a :class:`~repro.core.codec.TableCodec` (the store
-        needs a supernode table to expand from).
+        needs a supernode table to expand from).  A codec fitted with a
+        reordering strategy hands its order through, so the store ingests
+        and retrieves in original ids exactly like the codec does.
         """
         codec.fit(dataset)
-        return cls.from_dataset(dataset, codec.table)
+        return cls.from_dataset(
+            dataset, codec.table, order=getattr(codec, "order", None)
+        )
 
     def append(self, path: Sequence[int]) -> int:
         """Compress and store one path; returns its path id."""
         from repro.core.compressor import compress_path
 
+        if self.order is not None:
+            path = self.order.apply_path(path)
         token = compress_path(path, self.table, self._matcher)
         self._tokens.append(token)
         obs = get_active()
@@ -200,9 +219,9 @@ class CompressedPathStore:
         self._check_id(path_id)
         obs = get_active()
         if obs is None:
-            return decompress_path(self._tokens[path_id], self.table)
+            return self._restore(decompress_path(self._tokens[path_id], self.table))
         with obs.registry.timeit(catalog.STORE_RETRIEVE_SECONDS):
-            path = decompress_path(self._tokens[path_id], self.table)
+            path = self._restore(decompress_path(self._tokens[path_id], self.table))
         obs.registry.counter(catalog.STORE_RETRIEVED_PATHS).inc()
         return path
 
@@ -223,9 +242,9 @@ class CompressedPathStore:
         token = self._tokens[path_id]
         obs = get_active()
         if obs is None:
-            return slice_token(token, self.table.expansions(), start, stop)
+            return self._restore(slice_token(token, self.table.expansions(), start, stop))
         with obs.registry.timeit(catalog.STORE_RETRIEVE_SLICE_SECONDS):
-            out = slice_token(token, self.table.expansions(), start, stop)
+            out = self._restore(slice_token(token, self.table.expansions(), start, stop))
         obs.registry.counter(catalog.STORE_RETRIEVED_SLICES).inc()
         return out
 
@@ -250,13 +269,14 @@ class CompressedPathStore:
     def retrieve_all(self) -> List[Tuple[int, ...]]:
         """Decompress the full store (the DS measurement of Fig. 6a)."""
         table = self.table
+        restore = self._restore
         obs = get_active()
         if obs is None:
-            return [decompress_path(t, table) for t in self._tokens]
+            return [restore(decompress_path(t, table)) for t in self._tokens]
         with obs.tracer.span(
             catalog.SPAN_STORE_RETRIEVE_ALL
         ) as span, obs.registry.timeit(catalog.STORE_RETRIEVE_ALL_SECONDS):
-            paths = [decompress_path(t, table) for t in self._tokens]
+            paths = [restore(decompress_path(t, table)) for t in self._tokens]
             if span is not None:
                 span.add("paths", len(paths))
         obs.registry.counter(catalog.STORE_RETRIEVED_PATHS).inc(len(paths))
@@ -279,7 +299,8 @@ class CompressedPathStore:
     def __iter__(self) -> Iterator[Tuple[int, ...]]:
         """Iterate decompressed paths in path-id order."""
         table = self.table
-        return (decompress_path(t, table) for t in self._tokens)
+        restore = self._restore
+        return (restore(decompress_path(t, table)) for t in self._tokens)
 
     # -- size accounting ----------------------------------------------------------------
 
@@ -288,10 +309,16 @@ class CompressedPathStore:
         return sum(len(t) for t in self._tokens)
 
     def compressed_size_bytes(self, encoding: Encoding = DEFAULT_ENCODING) -> int:
-        """``|P'| + |R|`` in bytes: tokens (with length markers) plus table."""
+        """``|P'| + |R|`` in bytes: tokens (with length markers) plus table.
+
+        A persisted vertex order is part of ``R`` (a reader needs it to
+        restore original ids), so its backward map is charged here too.
+        """
         total = encoding.size_of_value(self.table.base_id)
         for _, subpath in self.table:
             total += encoding.size_of_value(len(subpath)) + encoding.size_of(subpath)
+        if self.order is not None:
+            total += self.order.size_bytes(encoding)
         for token in self._tokens:
             total += encoding.size_of_value(len(token)) + encoding.size_of(token)
         obs = get_active()
@@ -300,10 +327,15 @@ class CompressedPathStore:
         return total
 
     def raw_size_bytes(self, encoding: Encoding = DEFAULT_ENCODING) -> int:
-        """``|P|`` in bytes: what the uncompressed paths would cost."""
+        """``|P|`` in bytes: what the uncompressed paths would cost.
+
+        Measured over *original* ids — with a vertex order active the
+        decompressed new-id paths are inverted first, so varint accounting
+        prices the paths the caller actually handed in.
+        """
         total = 0
         for token in self._tokens:
-            path = decompress_path(token, self.table)
+            path = self._restore(decompress_path(token, self.table))
             total += encoding.size_of_value(len(path)) + encoding.size_of(path)
         obs = get_active()
         if obs is not None:
@@ -316,6 +348,12 @@ class CompressedPathStore:
         return self.raw_size_bytes(encoding) / compressed if compressed else 0.0
 
     # -- internals -----------------------------------------------------------------------
+
+    def _restore(self, path: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Invert the vertex order on an outgoing path (no-op when unordered)."""
+        if self.order is None:
+            return path
+        return self.order.invert_path(path)
 
     def _check_id(self, path_id: int) -> None:
         if not 0 <= path_id < len(self._tokens):

@@ -191,6 +191,18 @@ ABLATION_CELLS_SKIPPED = _counter("ablation.cells_skipped")
 ABLATION_CELL_SECONDS = _timer("ablation.cell.seconds")
 ABLATION_SECONDS = _timer("ablation.seconds")
 
+# -- vertex reordering (repro.paths.reorder) --------------------------------------
+#
+# ``fit_order`` publishes one timer per fit plus three gauges describing the
+# order it produced: how many vertices it covers, the Shannon entropy of the
+# vertex-frequency distribution (low entropy predicts large hottest-first
+# wins), and the net varint bytes the order saves across the fitted corpus.
+
+REORDER_FIT_SECONDS = _timer("reorder.fit.seconds")
+REORDER_VERTICES = _gauge("reorder.vertices")
+REORDER_ORDER_ENTROPY = _gauge("reorder.order_entropy")
+REORDER_VARINT_BYTES_SAVED = _gauge("reorder.varint_bytes_saved")
+
 # -- supernode-expansion cache (repro.core.expansion) ----------------------------
 
 TABLE_EXPANSION_CACHE_HITS = _counter("table.expansion_cache.hits")

@@ -11,6 +11,9 @@ repository operates:
   (id remapping, noise removal, cycle cutting, pruning, grouping).
 * :mod:`repro.paths.encoding` — integer stream encodings (fixed width and
   varint) used for byte-accurate size accounting.
+* :mod:`repro.paths.reorder` — compression-aware vertex reordering:
+  invertible :class:`~repro.paths.reorder.VertexOrder` mappings fit by the
+  ``identity`` / ``frequency`` / ``bfs`` / ``locality`` strategies.
 * :mod:`repro.paths.io` — simple text/binary persistence for path sets.
 """
 
@@ -39,6 +42,13 @@ from repro.paths.encoding import (
     encode_stream,
 )
 from repro.paths.remap import FrequencyRemapper
+from repro.paths.reorder import (
+    ORDER_STRATEGIES,
+    VertexOrder,
+    fit_order,
+    order_entropy_bits,
+    varint_bytes_saved,
+)
 from repro.paths.lightweight import (
     LIGHTWEIGHT_CODECS,
     DeltaCoding,
@@ -75,4 +85,9 @@ __all__ = [
     "RunLengthEncoding",
     "lightweight_sizes",
     "FrequencyRemapper",
+    "ORDER_STRATEGIES",
+    "VertexOrder",
+    "fit_order",
+    "order_entropy_bits",
+    "varint_bytes_saved",
 ]

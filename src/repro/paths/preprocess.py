@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.paths.dataset import PathDataset
 
@@ -108,6 +108,23 @@ class PreprocessReport:
     cycles_cut: int = 0
     trivial_paths_dropped: int = 0
     notes: List[str] = field(default_factory=list)
+    #: ``label -> id`` mapping when id assignment ran (``assign_ids=True``),
+    #: letting callers translate query vertices or invert results back to
+    #: the raw labels.  ``None`` when the input was already integer ids.
+    id_mapping: Optional[Dict[Hashable, int]] = None
+
+    def original_label(self, vertex: int) -> Hashable:
+        """The raw label behind dense id *vertex* (inverse of the mapping).
+
+        Raises :class:`KeyError` when no mapping was recorded or the id is
+        unknown.
+        """
+        if self.id_mapping is None:
+            raise KeyError("no id mapping was recorded (assign_ids=False)")
+        for label, assigned in self.id_mapping.items():
+            if assigned == vertex:
+                return label
+        raise KeyError(vertex)
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -120,17 +137,28 @@ class PreprocessReport:
 
 
 def preprocess_paths(
-    raw_paths: Iterable[Sequence[int]],
+    raw_paths: Iterable[Sequence[Hashable]],
     name: str = "dataset",
     min_length: int = MIN_USEFUL_LENGTH,
+    assign_ids: bool = False,
 ) -> Tuple[PathDataset, PreprocessReport]:
-    """Run the full Section VI-A repair pipeline on integer walks.
+    """Run the full Section VI-A repair pipeline on recorded walks.
 
     Chains noise removal, cycle cutting and trivial-path pruning; returns a
     :class:`~repro.paths.dataset.PathDataset` of guaranteed-simple paths plus
     a :class:`PreprocessReport` describing the repairs.
+
+    With ``assign_ids=True`` the *new id* step (:func:`assign_new_ids`) runs
+    first, accepting arbitrary hashable labels; the resulting ``label -> id``
+    mapping is threaded out on :attr:`PreprocessReport.id_mapping` so callers
+    can translate queries and invert results.  Without it the input must
+    already be integer ids and ``id_mapping`` stays ``None``.
     """
     report = PreprocessReport()
+    if assign_ids:
+        relabelled, mapping = assign_new_ids(raw_paths)
+        raw_paths = relabelled
+        report.id_mapping = mapping
     cleaned: List[List[int]] = []
     for raw in raw_paths:
         report.input_paths += 1

@@ -1,0 +1,415 @@
+"""Compression-aware vertex reordering: invertible orders fit on a corpus.
+
+The WebGraph lineage (Boldi & Vigna; Apostolico & Drovandi; Log(Graph))
+shows that id *ordering* alone buys compression: under variable-length
+integer coding, ids below 128 cost one byte, below 16384 two, so the
+hottest vertices should own the smallest ids, and vertices that co-occur
+in the same paths should sit in adjacent id ranges so shared subpaths
+become byte-adjacent.  This module is that pass for OFFS — a registry of
+ordering strategies, each producing an invertible :class:`VertexOrder`
+with a deterministic tie-break, fit on a :class:`~repro.core.FlatCorpus`
+(or any path iterable) in one pass over the data:
+
+* ``identity`` — keep ids as they are (:func:`fit_order` returns ``None``;
+  nothing is persisted and readers skip the inversion entirely).
+* ``frequency`` — hottest-first ids, the :class:`~repro.paths.remap.FrequencyRemapper`
+  policy promoted into the registry (sort by ``(-count, vertex)``).
+* ``bfs`` — Apostolico–Drovandi-style breadth-first numbering over the
+  co-occurrence graph induced by the workload's paths (edges between
+  consecutive path vertices); each BFS restarts at the most frequent
+  unvisited vertex, neighbors visit hottest-first.
+* ``locality`` — an LLP-like label-propagation ordering: vertices adopt
+  the most common label among their co-occurrence neighbors for a few
+  deterministic rounds, clusters are laid out hottest-cluster-first and
+  hottest-vertex-first within each cluster.
+
+Orders persist as the RPC2 order-table section (``docs/formats.md``) via
+:meth:`VertexOrder.to_bytes` / :meth:`VertexOrder.from_bytes`, and the
+stores apply them at the boundary: ingestion maps original → new ids,
+every retrieval surface inverts, so callers always see original ids.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict, deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import CorruptDataError, InvalidInputError
+from repro.obs import catalog
+from repro.obs.runtime import active_timer, get_active
+from repro.paths.encoding import VarintEncoding
+
+#: The closed set of strategy names, ``identity`` first (the default).
+ORDER_STRATEGIES: Tuple[str, ...] = ("identity", "frequency", "bfs", "locality")
+
+#: Label-propagation rounds for the ``locality`` strategy.  Four rounds is
+#: the LLP-style sweet spot on path workloads: labels stabilize quickly on
+#: the small-diameter co-occurrence graphs paths induce.
+_LOCALITY_ROUNDS = 4
+
+_VARINT = VarintEncoding()
+
+
+def _varint(value: int) -> bytes:
+    """One unsigned LEB128 varint."""
+    if value < 0:
+        raise InvalidInputError("varint encoding requires non-negative integers")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    """Decode one varint at *pos*; returns ``(value, next_pos)``."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CorruptDataError("truncated varint in order-table body")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise CorruptDataError("varint in order-table body exceeds 64 bits")
+
+
+class VertexOrder:
+    """A learned bijective vertex relabelling with a named strategy.
+
+    :param strategy: the registry name that produced this order.
+    :param backward: original ids in new-id order — ``backward[new] == old``.
+
+    The forward map (original → new) is derived; both directions are O(1).
+    Unknown vertices raise :class:`~repro.core.errors.InvalidInputError`
+    on :meth:`apply_vertex` — an order only covers the corpus it was fit
+    on, and silently passing ids through would corrupt the store.
+    """
+
+    __slots__ = ("strategy", "_forward", "_backward")
+
+    def __init__(self, strategy: str, backward: Sequence[int]) -> None:
+        if strategy not in ORDER_STRATEGIES:
+            raise InvalidInputError(
+                f"unknown order strategy {strategy!r}; "
+                f"expected one of {ORDER_STRATEGIES}"
+            )
+        backward_list = list(backward)
+        forward = {old: new for new, old in enumerate(backward_list)}
+        if len(forward) != len(backward_list):
+            raise InvalidInputError("order backward map repeats a vertex id")
+        for old in backward_list:
+            if old < 0:
+                raise InvalidInputError("vertex ids must be non-negative")
+        self.strategy = strategy
+        self._forward = forward
+        self._backward = backward_list
+
+    # -- application -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._backward)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VertexOrder):
+            return NotImplemented
+        return self.strategy == other.strategy and self._backward == other._backward
+
+    def __repr__(self) -> str:
+        return f"VertexOrder(strategy={self.strategy!r}, vertices={len(self)})"
+
+    def apply_vertex(self, vertex: int) -> int:
+        """The new id of *vertex*."""
+        try:
+            return self._forward[vertex]
+        except KeyError:
+            raise InvalidInputError(
+                f"vertex {vertex} is not covered by this {self.strategy!r} order"
+            ) from None
+
+    def invert_vertex(self, vertex: int) -> int:
+        """The original id behind new id *vertex*."""
+        if not 0 <= vertex < len(self._backward):
+            raise InvalidInputError(
+                f"new id {vertex} out of range for an order of {len(self)} vertices"
+            )
+        return self._backward[vertex]
+
+    def apply_path(self, path: Sequence[int]) -> Tuple[int, ...]:
+        """Relabel one path into new-id space."""
+        forward = self._forward
+        try:
+            return tuple(forward[v] for v in path)
+        except KeyError as exc:
+            raise InvalidInputError(
+                f"vertex {exc.args[0]} is not covered by this {self.strategy!r} order"
+            ) from None
+
+    def invert_path(self, path: Sequence[int]) -> Tuple[int, ...]:
+        """Restore one relabelled path to original ids."""
+        backward = self._backward
+        try:
+            return tuple(backward[v] for v in path)
+        except IndexError:
+            raise InvalidInputError(
+                "path contains a new id outside this order"
+            ) from None
+
+    def transform_corpus(self, corpus):
+        """A new :class:`~repro.core.FlatCorpus` with every vertex relabelled."""
+        from array import array
+
+        from repro.core.flatcorpus import FlatCorpus, as_flat_corpus
+
+        flat = as_flat_corpus(corpus)
+        forward = self._forward
+        try:
+            buffer = array("q", (forward[v] for v in flat.buffer))
+        except KeyError as exc:
+            raise InvalidInputError(
+                f"vertex {exc.args[0]} is not covered by this {self.strategy!r} order"
+            ) from None
+        return FlatCorpus(buffer, flat.offsets, name=f"{flat.name}/{self.strategy}")
+
+    # -- size accounting -----------------------------------------------------------
+
+    def size_bytes(self, encoding=None) -> int:
+        """Byte cost of persisting this order's backward map under *encoding*.
+
+        Default is varint — the RPOT section's actual coding: a count
+        marker plus one integer per vertex (the original id at each new
+        id).  This is the cost :meth:`OFFSCodec.rule_size_bytes` adds so
+        compression ratios charge for the mapping they depend on.
+        """
+        enc = encoding if encoding is not None else _VARINT
+        total = enc.size_of_value(len(self._backward))
+        for old in self._backward:
+            total += enc.size_of_value(old)
+        return total
+
+    # -- persistence ---------------------------------------------------------------
+
+    def as_table(self) -> List[Tuple[int, int]]:
+        """``(old id, new id)`` pairs in new-id order (serializable)."""
+        return [(old, new) for new, old in enumerate(self._backward)]
+
+    @classmethod
+    def from_table(
+        cls, strategy: str, table: Iterable[Tuple[int, int]]
+    ) -> "VertexOrder":
+        """Rebuild from :meth:`as_table` output."""
+        backward: Dict[int, int] = {new: old for old, new in table}
+        if sorted(backward) != list(range(len(backward))):
+            raise InvalidInputError("order table new ids must be dense 0..n-1")
+        return cls(strategy, [backward[new] for new in range(len(backward))])
+
+    def to_bytes(self) -> bytes:
+        """The RPOT section *body*: strategy name + backward map, varints.
+
+        Layout: ``varint(len(name))  name-utf8  varint(count)  count ×
+        varint(original id)`` — original ids in new-id order.  The section
+        framing (magic, length, CRC) lives in :mod:`repro.core.serialize`.
+        """
+        name = self.strategy.encode("utf-8")
+        out = bytearray(_varint(len(name)))
+        out += name
+        out += _varint(len(self._backward))
+        for old in self._backward:
+            out += _varint(old)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "VertexOrder":
+        """Decode a :meth:`to_bytes` body (raises ``CorruptDataError``)."""
+        name_len, pos = _read_varint(data, 0)
+        if pos + name_len > len(data):
+            raise CorruptDataError("order-table strategy name overruns the body")
+        try:
+            strategy = data[pos : pos + name_len].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CorruptDataError(f"order-table strategy name is not UTF-8: {exc}")
+        pos += name_len
+        if strategy not in ORDER_STRATEGIES or strategy == "identity":
+            raise CorruptDataError(
+                f"order-table names unknown strategy {strategy!r}"
+            )
+        count, pos = _read_varint(data, pos)
+        backward: List[int] = []
+        for _ in range(count):
+            old, pos = _read_varint(data, pos)
+            backward.append(old)
+        if pos != len(data):
+            raise CorruptDataError(
+                f"order-table body has {len(data) - pos} trailing byte(s)"
+            )
+        try:
+            return cls(strategy, backward)
+        except InvalidInputError as exc:
+            raise CorruptDataError(f"order-table body invalid: {exc}") from None
+
+
+# -- strategy fitting -----------------------------------------------------------
+
+
+def _scan(paths: Iterable[Sequence[int]]):
+    """One pass over *paths*: vertex frequencies + co-occurrence adjacency."""
+    counts: Counter = Counter()
+    adjacency: Dict[int, set] = defaultdict(set)
+    for path in paths:
+        counts.update(path)
+        for a, b in zip(path, path[1:]):
+            if a != b:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+    return counts, adjacency
+
+
+def _fit_frequency(counts: Counter, adjacency) -> List[int]:
+    """Hottest-first; equal frequencies break on the smaller original id."""
+    return [v for v, _ in sorted(counts.items(), key=lambda e: (-e[1], e[0]))]
+
+
+def _fit_bfs(counts: Counter, adjacency) -> List[int]:
+    """BFS over the co-occurrence graph, hottest seed and neighbors first."""
+    backward: List[int] = []
+    visited = set()
+    hotness = lambda v: (-counts[v], v)  # noqa: E731 - tiny local key
+    for seed in sorted(counts, key=hotness):
+        if seed in visited:
+            continue
+        visited.add(seed)
+        queue = deque((seed,))
+        while queue:
+            v = queue.popleft()
+            backward.append(v)
+            for u in sorted(adjacency.get(v, ()), key=hotness):
+                if u not in visited:
+                    visited.add(u)
+                    queue.append(u)
+    return backward
+
+
+def _fit_locality(counts: Counter, adjacency) -> List[int]:
+    """Label propagation: cluster co-occurring vertices, lay clusters out.
+
+    Every vertex starts as its own label; for a bounded number of rounds
+    each vertex (in ascending-id order — deterministic) adopts the most
+    common label among its neighbors, ties to the smallest label.  Final
+    clusters are ordered by total frequency (hottest cluster first, ties
+    on the smallest member id) and hottest-first within a cluster.
+    """
+    labels = {v: v for v in counts}
+    ordered_vertices = sorted(counts)
+    for _ in range(_LOCALITY_ROUNDS):
+        changed = False
+        for v in ordered_vertices:
+            neighbors = adjacency.get(v)
+            if not neighbors:
+                continue
+            tally: Counter = Counter(labels[u] for u in neighbors)
+            best = min(tally.items(), key=lambda e: (-e[1], e[0]))[0]
+            if best != labels[v]:
+                labels[v] = best
+                changed = True
+        if not changed:
+            break
+    clusters: Dict[int, List[int]] = defaultdict(list)
+    for v in ordered_vertices:
+        clusters[labels[v]].append(v)
+    ranked = sorted(
+        clusters.values(),
+        key=lambda members: (-sum(counts[v] for v in members), min(members)),
+    )
+    backward: List[int] = []
+    for members in ranked:
+        backward.extend(sorted(members, key=lambda v: (-counts[v], v)))
+    return backward
+
+
+_FITTERS = {
+    "frequency": _fit_frequency,
+    "bfs": _fit_bfs,
+    "locality": _fit_locality,
+}
+
+
+def fit_order(strategy: str, paths: Iterable[Sequence[int]]) -> Optional[VertexOrder]:
+    """Fit *strategy* on *paths* (a corpus or any path iterable), one pass.
+
+    Returns ``None`` for ``identity`` — the no-op order is never
+    materialized, so every ``order is None`` check downstream stays the
+    zero-cost fast path.  Publishes ``reorder.*`` observability when a
+    scope is active: fit time, vertex count, order entropy, and the
+    varint bytes the order saves across the corpus.
+    """
+    if strategy not in ORDER_STRATEGIES:
+        raise InvalidInputError(
+            f"unknown order strategy {strategy!r}; expected one of {ORDER_STRATEGIES}"
+        )
+    if strategy == "identity":
+        return None
+    with active_timer(catalog.REORDER_FIT_SECONDS):
+        counts, adjacency = _scan(paths)
+        order = VertexOrder(strategy, _FITTERS[strategy](counts, adjacency))
+    obs = get_active()
+    if obs is not None:
+        obs.registry.set_gauge(catalog.REORDER_VERTICES, len(order))
+        obs.registry.set_gauge(
+            catalog.REORDER_ORDER_ENTROPY, order_entropy_bits(counts)
+        )
+        obs.registry.set_gauge(
+            catalog.REORDER_VARINT_BYTES_SAVED, _bytes_saved(order, counts)
+        )
+    return order
+
+
+def order_entropy_bits(counts) -> float:
+    """Shannon entropy (bits) of the vertex-frequency distribution.
+
+    Low entropy means a few vertices dominate — exactly when a
+    hottest-first order pays off; high entropy (uniform traffic) predicts
+    small reordering wins.  Accepts a ``Counter``/mapping of frequencies.
+    """
+    from math import log2
+
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        if count:
+            p = count / total
+            entropy -= p * log2(p)
+    return entropy
+
+
+def _bytes_saved(order: VertexOrder, counts) -> int:
+    """Varint bytes saved across all occurrences, from a frequency map."""
+    size = _VARINT.size_of_value
+    saved = 0
+    for old, count in counts.items():
+        saved += count * (size(old) - size(order.apply_vertex(old)))
+    return saved
+
+
+def varint_bytes_saved(order: Optional[VertexOrder], paths) -> int:
+    """Varint bytes *order* saves summed over every vertex occurrence.
+
+    Positive means the reordered corpus codes smaller than the original
+    under LEB128 — the headline number ``benchmarks/bench_reorder.py``
+    reports.  ``None`` (identity) trivially saves nothing.
+    """
+    if order is None:
+        return 0
+    counts: Counter = Counter()
+    for path in paths:
+        counts.update(path)
+    return _bytes_saved(order, counts)

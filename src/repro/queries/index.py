@@ -10,6 +10,13 @@ would defeat the archive, so the index exploits the table structure instead:
 
 The result is exact (no false positives/negatives) and construction touches
 only compressed data, ``O(symbols + table)``.
+
+Over a *reordered* store (one carrying a
+:class:`~repro.paths.reorder.VertexOrder`) postings are naturally keyed by
+new ids — tokens are stored in new-id space — so every lookup translates
+its argument through the store's order first.  Callers therefore always
+query in original ids, the same contract the store's retrieval surface
+keeps; a vertex the order does not cover simply has no postings.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, FrozenSet, List, Set
 
+from repro.core.errors import InvalidInputError
 from repro.core.store import CompressedPathStore
 
 
@@ -56,17 +64,35 @@ class VertexIndex:
         self._indexed_paths = len(tokens)
 
     # -- lookups -----------------------------------------------------------------
+    #
+    # Lookup arguments are ORIGINAL vertex ids; _key translates them into
+    # the posting key space (new ids when the store carries an order).  A
+    # sentinel that can never be a posting key stands in for "the order
+    # does not cover this vertex" so the membership checks below stay
+    # uniform.
+
+    _MISSING = -1
+
+    def _key(self, vertex: int) -> int:
+        """The posting key for an original-id *vertex* (_MISSING if unmapped)."""
+        order = getattr(self.store, "order", None)
+        if order is None:
+            return vertex
+        try:
+            return order.apply_vertex(vertex)
+        except InvalidInputError:
+            return self._MISSING
 
     def paths_containing(self, vertex: int) -> List[int]:
         """Sorted path ids whose decompressed form contains *vertex*."""
-        return list(self._postings.get(vertex, ()))
+        return list(self._postings.get(self._key(vertex), ()))
 
     def paths_containing_all(self, vertices) -> List[int]:
         """Path ids containing **every** vertex in *vertices* (intersection)."""
         result: Set[int] = set()
         first = True
         for vertex in vertices:
-            postings = set(self._postings.get(vertex, ()))
+            postings = set(self._postings.get(self._key(vertex), ()))
             result = postings if first else result & postings
             first = False
             if not result and not first:
@@ -77,7 +103,7 @@ class VertexIndex:
         """Path ids containing **at least one** vertex in *vertices* (union)."""
         result: Set[int] = set()
         for vertex in vertices:
-            result.update(self._postings.get(vertex, ()))
+            result.update(self._postings.get(self._key(vertex), ()))
         return sorted(result)
 
     def vertex_count(self) -> int:
@@ -85,7 +111,7 @@ class VertexIndex:
         return len(self._postings)
 
     def __contains__(self, vertex: int) -> bool:
-        return vertex in self._postings
+        return self._key(vertex) in self._postings
 
     def __repr__(self) -> str:
         return (

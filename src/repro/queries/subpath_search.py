@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.errors import InvalidInputError
 from repro.core.store import CompressedPathStore
 from repro.queries.index import VertexIndex
 
@@ -87,15 +88,29 @@ class SubpathSearcher:
         return self.index.paths_containing_all(tuple(query))
 
     def search_ids(self, query: Sequence[int]) -> List[int]:
-        """Path ids whose decompressed form contains *query* contiguously."""
+        """Path ids whose decompressed form contains *query* contiguously.
+
+        *query* is in original vertex ids.  Over a reordered store the
+        tokens (and their expansions) live in new-id space, so the query
+        is translated once here before compressed-form matching; the
+        vertex index translates its own lookups.  A query vertex outside
+        the order cannot appear in any stored path — no matches.
+        """
         q = tuple(query)
         if len(q) == 1:
             return self.index.paths_containing(q[0])
+        order = getattr(self.store, "order", None)
+        matched = q
+        if order is not None:
+            try:
+                matched = order.apply_path(q)
+            except InvalidInputError:
+                return []
         table = self.store.table
         return [
             pid
             for pid in self.candidate_ids(q)
-            if token_contains_subpath(self.store.token(pid), table, q)
+            if token_contains_subpath(self.store.token(pid), table, matched)
         ]
 
     def search(self, query: Sequence[int]) -> List[Tuple[int, ...]]:

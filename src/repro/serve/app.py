@@ -146,9 +146,11 @@ class StoreApp:
         payload says how many there are).
         """
         store = self.store
+        order = getattr(store, "order", None)
         payload: Dict[str, Any] = {
             "name": store.name,
             "paths": len(store),
+            "reorder": order.strategy if order is not None else "identity",
             "worker": {"index": self.worker_index, "pid": os.getpid()},
         }
         if hasattr(store, "manifest"):
